@@ -1,0 +1,51 @@
+// Ablation (§3.3 design choice): read-set escalation. With escalation on,
+// unindexed scans travel as one granule id and certify against concurrent
+// writes; with it off, the scanned tuples travel individually — read sets
+// grow (multicast cost) and the scan-conflict channel disappears
+// (serializability of scans is lost; the paper's engine escalates instead
+// of multicasting huge read sets).
+#include <cstdio>
+
+#include "common.hpp"
+#include "tpcc/profile.hpp"
+
+using namespace dbsm;
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  bench::declare_common_flags(flags);
+  flags.declare("clients", "1000", "client count");
+  if (!flags.parse(argc, argv)) return 1;
+
+  util::text_table t;
+  t.header({"Variant", "tpm", "Abort(%)", "os-long abort(%)",
+            "pay-long abort(%)", "Net KB/s"});
+  std::vector<std::vector<std::string>> rows;
+  for (const bool escalate : {true, false}) {
+    auto cfg = bench::paper_config();
+    bench::apply_common_flags(flags, cfg);
+    cfg.sites = 3;
+    cfg.cpus_per_site = 1;
+    cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
+    cfg.profile.escalate_scans = escalate;
+    const char* label = escalate ? "escalation on (paper)"
+                                 : "escalation off (tuple reads)";
+    const auto r = bench::run_point(cfg, label);
+    std::vector<std::string> row{
+        label,
+        util::fmt(r.tpm(), 0),
+        util::fmt(r.stats.abort_rate_pct(), 2),
+        util::fmt(r.stats.of(tpcc::c_orderstatus_long).abort_rate_pct(), 2),
+        util::fmt(r.stats.of(tpcc::c_payment_long).abort_rate_pct(), 2),
+        util::fmt(r.network_kbps, 0)};
+    t.row(row);
+    rows.push_back(row);
+  }
+  std::puts("=== Ablation: read-set escalation (3 sites) ===");
+  bench::emit(t, flags.get_string("csv"), rows);
+  std::puts(
+      "\nExpected: without escalation, orderstatus(long) aborts collapse "
+      "toward 0 (scan\nconflicts no longer detected) and network bytes "
+      "rise (fat read sets on the wire).");
+  return 0;
+}

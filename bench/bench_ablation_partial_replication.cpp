@@ -1,0 +1,53 @@
+// Ablation (§5.2/§6): partial replication, the paper's proposed mitigation
+// of the read-one/write-all disk ceiling — "The problem can be mitigated
+// by using partial replication, while still providing the increased
+// resilience from replication." Updates are applied at the origin plus
+// k-1 further sites; certification stays global.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace dbsm;
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  bench::declare_common_flags(flags);
+  flags.declare("clients", "2000", "client count");
+  flags.declare("sites", "6", "replica count");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const auto sites = static_cast<unsigned>(flags.get_int("sites"));
+  util::text_table t;
+  t.header({"Degree", "tpm", "Latency(ms)", "Abort(%)", "Disk(%)",
+            "CPU(%)", "Net KB/s"});
+  std::vector<std::vector<std::string>> rows;
+  for (unsigned degree : {sites, sites / 2, 2u}) {
+    auto cfg = bench::paper_config();
+    bench::apply_common_flags(flags, cfg);
+    cfg.sites = sites;
+    cfg.cpus_per_site = 1;
+    cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
+    cfg.replication_degree = degree == sites ? 0 : degree;
+    const std::string label =
+        degree == sites ? "full (write all)"
+                        : "k=" + std::to_string(degree);
+    const auto r = bench::run_point(cfg, label);
+    std::vector<std::string> row{
+        label,
+        util::fmt(r.tpm(), 0),
+        util::fmt(r.stats.mean_latency_ms(), 1),
+        util::fmt(r.stats.abort_rate_pct(), 2),
+        util::fmt(r.disk_utilization * 100.0, 1),
+        util::fmt(r.cpu_utilization * 100.0, 1),
+        util::fmt(r.network_kbps, 0)};
+    t.row(row);
+    rows.push_back(row);
+  }
+  std::puts("=== Ablation: partial replication (disk ceiling mitigation) ===");
+  bench::emit(t, flags.get_string("csv"), rows);
+  std::puts(
+      "\nExpected: smaller replication degrees cut per-site disk usage "
+      "(each site applies\nonly a fraction of all updates), lifting the "
+      "write-all ceiling the paper identifies\nin Fig 6(b).");
+  return 0;
+}

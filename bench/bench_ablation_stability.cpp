@@ -1,0 +1,86 @@
+// Ablation (§5.3 mitigations): under 5% random loss, sweep the group's
+// total buffer space and the stability gossip period. The paper: "The
+// problem is mitigated by increasing available buffer space or by
+// allocating a dedicated sequencer process."
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace dbsm;
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  bench::declare_common_flags(flags);
+  flags.declare("clients", "750", "client count");
+  if (!flags.parse(argc, argv)) return 1;
+
+  struct variant {
+    const char* label;
+    std::size_t buffer_msgs;
+    sim_duration stab_period;
+    bool dedicated_sequencer;
+  };
+  const gcs::group_config defaults;
+  const std::size_t base = defaults.total_buffer_msgs;
+  const sim_duration period = defaults.stability_period;
+  const std::vector<variant> variants = {
+      {"baseline", base, period, false},
+      {"half buffer", base / 2, period, false},
+      {"double buffer", base * 2, period, false},
+      {"quad buffer", base * 4, period, false},
+      {"fast gossip (10ms)", base, milliseconds(10), false},
+      {"slow gossip (150ms)", base, milliseconds(150), false},
+      {"dedicated sequencer", base, period, true},
+  };
+
+  util::text_table t;
+  t.header({"Variant", "tpm", "p50(ms)", "p99(ms)", "Blocked(#)",
+            "Blocked(ms)", "Delayed(%)", "Abort(%)"});
+  std::vector<std::vector<std::string>> rows;
+  for (const variant& v : variants) {
+    auto cfg = bench::paper_config();
+    bench::apply_common_flags(flags, cfg);
+    cfg.sites = 3;
+    cfg.cpus_per_site = 1;
+    cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
+    cfg.faults.random_loss = 0.05;
+    cfg.gcs.total_buffer_msgs = v.buffer_msgs;
+    cfg.gcs.total_buffer_bytes =
+        defaults.total_buffer_bytes * v.buffer_msgs / base;
+    cfg.gcs.stability_period = v.stab_period;
+    cfg.dedicated_sequencer = v.dedicated_sequencer;
+    if (v.dedicated_sequencer) {
+      // Keep the per-member share equal to the baseline's: the point of
+      // the dedicated site is relieving the sequencer, not shrinking
+      // everyone's buffers by adding a member.
+      cfg.gcs.total_buffer_msgs = v.buffer_msgs * 4 / 3;
+      cfg.gcs.total_buffer_bytes = cfg.gcs.total_buffer_bytes * 4 / 3;
+    }
+    const auto r = bench::run_point(cfg, v.label);
+    const auto lat = r.stats.pooled_latency_ms();
+    const double delayed_pct =
+        r.cert_latency_ms.empty()
+            ? 0.0
+            : 100.0 * (1.0 - r.cert_latency_ms.ecdf_at(10.0));
+    std::vector<std::string> row{
+        v.label,
+        util::fmt(r.tpm(), 0),
+        util::fmt(lat.quantile(0.50), 1),
+        util::fmt(lat.quantile(0.99), 1),
+        util::fmt(static_cast<std::int64_t>(r.blocked_episodes)),
+        util::fmt(r.blocked_ms, 1),
+        util::fmt(delayed_pct, 1),
+        util::fmt(r.stats.abort_rate_pct(), 2)};
+    t.row(row);
+    rows.push_back(row);
+  }
+  std::puts(
+      "=== Ablation: buffer space / stability period / dedicated "
+      "sequencer under 5% random loss ===");
+  bench::emit(t, flags.get_string("csv"), rows);
+  std::puts(
+      "\nExpected: larger buffers and faster gossip reduce blocking "
+      "episodes and the\nlatency tail; a dedicated sequencer removes the "
+      "contended share (§5.3).");
+  return 0;
+}

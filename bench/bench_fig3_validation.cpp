@@ -1,0 +1,192 @@
+// Figure 3 (§4.2): validation of the centralized simulation runtime.
+//   (a) bandwidth written to a UDP socket by one flooding process,
+//   (b) bandwidth observed at the receiver on the 100 Mbps Ethernet,
+//   (c) average round-trip time,
+// each versus message size (64 B – 4 KB).
+//
+// "CSRT" series: measured by running real flooding/ping-pong protocol code
+// through the runtime and network model. "Real" series: the analytic
+// reference describing the paper's testbed (the same four CSRT cost
+// parameters plus the wire model) — the validation criterion is that the
+// simulation reproduces the configured reference, as the paper's Fig 3
+// compares simulation against its measured testbed. Note: unlike SSFNet,
+// our network enforces the Ethernet MTU for UDP, so the paper's >1000-byte
+// round-trip divergence artifact does not occur (§4.2 and DESIGN.md).
+#include <cstdio>
+
+#include "common.hpp"
+#include "csrt/sim_env.hpp"
+#include "net/lan.hpp"
+#include "net/udp_transport.hpp"
+
+using namespace dbsm;
+
+namespace {
+
+struct rig {
+  sim::simulator sim;
+  net::lan lan{sim, net::lan_config{}, util::rng(3)};
+  csrt::cpu_pool cpu0{sim, 1};
+  csrt::cpu_pool cpu1{sim, 1};
+  std::unique_ptr<net::udp_transport> t0;
+  std::unique_ptr<net::udp_transport> t1;
+  std::unique_ptr<csrt::sim_env> env0_ptr;
+  std::unique_ptr<csrt::sim_env> env1_ptr;
+  csrt::sim_env& env0;
+  csrt::sim_env& env1;
+
+  rig()
+      : t0((lan.add_host(), lan.add_host(),
+            std::make_unique<net::udp_transport>(lan, 0))),
+        t1(std::make_unique<net::udp_transport>(lan, 1)),
+        env0_ptr(std::make_unique<csrt::sim_env>(sim, cpu0, *t0,
+                                                 make_cfg(0),
+                                                 util::rng(10))),
+        env1_ptr(std::make_unique<csrt::sim_env>(sim, cpu1, *t1,
+                                                 make_cfg(1),
+                                                 util::rng(11))),
+        env0(*env0_ptr), env1(*env1_ptr) {
+    t0->attach(env0);
+    t1->attach(env1);
+  }
+
+  static csrt::sim_env::config make_cfg(node_id self) {
+    csrt::sim_env::config cfg;
+    cfg.self = self;
+    cfg.peers = {0, 1};
+    return cfg;
+  }
+};
+
+util::shared_bytes payload_of(std::size_t n) {
+  util::buffer_writer w;
+  w.put_padding(n);
+  return w.take();
+}
+
+/// (a)+(b): node 0 floods `count` datagrams of `size` bytes at node 1.
+/// Returns {app write Mbit/s, receiver Mbit/s}.
+std::pair<double, double> flood(std::size_t size, unsigned count) {
+  rig r;
+  auto msg = payload_of(size);
+  std::uint64_t received_bytes = 0;
+  sim_time last_rx = 0;
+  r.env1.set_handler([&](node_id, util::shared_bytes m) {
+    received_bytes += m->size();
+    last_rx = r.sim.now();
+  });
+  // Real code: a tight send loop; each send charges the CSRT send cost,
+  // so the simulated process writes as fast as its CPU allows.
+  sim_time send_done = 0;
+  r.env0.post([&] {
+    for (unsigned i = 0; i < count; ++i) r.env0.send(1, msg);
+    send_done = r.env0.now();
+  });
+  r.sim.run();
+  const double write_mbps =
+      static_cast<double>(size) * count * 8.0 / to_seconds(send_done) / 1e6;
+  const double recv_mbps =
+      last_rx > 0 ? static_cast<double>(received_bytes) * 8.0 /
+                        to_seconds(last_rx) / 1e6
+                  : 0.0;
+  return {write_mbps, recv_mbps};
+}
+
+/// (c): ping-pong between the nodes; returns mean round-trip in µs.
+double round_trip(std::size_t size, unsigned rounds) {
+  rig r;
+  auto msg = payload_of(size);
+  util::running_stats rtt_us;
+  sim_time sent_at = 0;
+  unsigned remaining = rounds;
+
+  r.env1.set_handler([&](node_id from, util::shared_bytes m) {
+    r.env1.send(from, m);  // echo
+  });
+  std::function<void()> ping = [&] {
+    sent_at = r.env0.now();
+    r.env0.send(1, msg);
+  };
+  r.env0.set_handler([&](node_id, util::shared_bytes) {
+    rtt_us.add(to_micros(r.env0.now() - sent_at));
+    if (--remaining > 0) ping();
+  });
+  r.env0.post(ping);
+  r.sim.run();
+  return rtt_us.mean();
+}
+
+// Analytic reference (the "Real" testbed curves).
+double ref_write_mbps(const csrt::net_cost_model& c, std::size_t size) {
+  return static_cast<double>(size) * 8.0 /
+         (static_cast<double>(c.send_cost(size)) / 1e9) / 1e6;
+}
+
+double ref_recv_mbps(const net::lan_config& l,
+                     const csrt::net_cost_model& c, std::size_t size) {
+  const std::size_t per_frame = l.mtu - l.ip_udp_header;
+  const std::size_t frames = (size + per_frame - 1) / per_frame;
+  const std::size_t wire = size + frames * (l.ip_udp_header +
+                                            l.frame_overhead);
+  const double wire_mbps =
+      static_cast<double>(size) / wire * l.bandwidth_bps / 1e6;
+  return std::min(wire_mbps, ref_write_mbps(c, size));
+}
+
+double ref_rtt_us(const net::lan_config& l, const csrt::net_cost_model& c,
+                  std::size_t size) {
+  const std::size_t per_frame = l.mtu - l.ip_udp_header;
+  const std::size_t frames = (size + per_frame - 1) / per_frame;
+  const std::size_t wire = size + frames * (l.ip_udp_header +
+                                            l.frame_overhead);
+  const double ser_us = wire * 8.0 / l.bandwidth_bps * 1e6;
+  const double one_way = static_cast<double>(c.send_cost(size)) / 1e3 +
+                         2 * ser_us + to_micros(l.switch_latency) +
+                         static_cast<double>(c.recv_cost(size)) / 1e3;
+  return 2 * one_way;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  flags.declare("rounds", "200", "ping-pong rounds per size");
+  flags.declare("flood", "500", "datagrams per flooding run");
+  flags.declare("csv", "", "optional CSV output path");
+  if (!flags.parse(argc, argv)) return 1;
+
+  const csrt::net_cost_model costs;  // CSRT defaults (§4.1 parameters)
+  const net::lan_config lan_cfg;
+  const std::vector<std::size_t> sizes = {64,   128,  256,  512, 1000,
+                                          1472, 2048, 3000, 4096};
+
+  util::text_table t;
+  t.header({"Size(B)", "Write Real(Mb/s)", "Write CSRT", "Recv Real(Mb/s)",
+            "Recv CSRT", "RTT Real(us)", "RTT CSRT"});
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"size", "write_real", "write_csrt", "recv_real",
+                  "recv_csrt", "rtt_real", "rtt_csrt"});
+  for (std::size_t size : sizes) {
+    const auto [write_mbps, recv_mbps] =
+        flood(size, static_cast<unsigned>(flags.get_int("flood")));
+    const double rtt =
+        round_trip(size, static_cast<unsigned>(flags.get_int("rounds")));
+    std::vector<std::string> row{
+        util::fmt(static_cast<std::int64_t>(size)),
+        util::fmt(ref_write_mbps(costs, size), 1),
+        util::fmt(write_mbps, 1),
+        util::fmt(ref_recv_mbps(lan_cfg, costs, size), 1),
+        util::fmt(recv_mbps, 1),
+        util::fmt(ref_rtt_us(lan_cfg, costs, size), 1),
+        util::fmt(rtt, 1)};
+    t.row(row);
+    rows.push_back(row);
+  }
+  std::puts("=== Figure 3: CSRT validation (Real reference vs CSRT) ===");
+  bench::emit(t, flags.get_string("csv"), rows);
+  std::puts(
+      "\nPaper shapes: write bandwidth CPU-bound, rising with size toward "
+      "~500+ Mbit/s;\nreceive bandwidth wire-capped near ~95 Mbit/s past "
+      "~1 KB; RTT linear in size\n(~200 us small to ~1.4 ms at 4 KB).");
+  return 0;
+}

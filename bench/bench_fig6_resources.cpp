@@ -1,0 +1,79 @@
+// Figure 6 (§5.2): resource usage versus clients for the Fig 5 systems —
+// (a) CPU utilization (transaction processing + protocol jobs),
+// (b) disk bandwidth utilization, (c) network traffic (KB/s, replicated
+// configurations only).
+#include <cstdio>
+#include <map>
+
+#include "common.hpp"
+
+using namespace dbsm;
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  bench::declare_common_flags(flags);
+  if (!flags.parse(argc, argv)) return 1;
+
+  const bool quick = flags.get_bool("quick");
+  const auto clients = bench::fig5_client_points(quick);
+  const auto& systems = bench::fig5_systems();
+
+  struct point {
+    double cpu_pct, disk_pct, net_kbps;
+  };
+  std::map<std::string, std::map<unsigned, point>> series;
+
+  for (const auto& sys : systems) {
+    for (unsigned n : clients) {
+      auto cfg = bench::paper_config();
+      bench::apply_common_flags(flags, cfg);
+      cfg.sites = sys.sites;
+      cfg.cpus_per_site = sys.cpus;
+      cfg.clients = n;
+      const auto label =
+          std::string(sys.label) + " / " + std::to_string(n) + " clients";
+      const auto r = bench::run_point(cfg, label);
+      series[sys.label][n] = {r.cpu_utilization * 100.0,
+                              r.disk_utilization * 100.0, r.network_kbps};
+    }
+  }
+
+  auto print_metric = [&](const char* title, auto pick,
+                          bool replicated_only) {
+    util::text_table t;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> header{"Clients"};
+    for (const auto& sys : systems) {
+      if (replicated_only && sys.sites == 1) continue;
+      header.push_back(sys.label);
+    }
+    t.header(header);
+    rows.push_back(header);
+    for (unsigned n : clients) {
+      std::vector<std::string> row{std::to_string(n)};
+      for (const auto& sys : systems) {
+        if (replicated_only && sys.sites == 1) continue;
+        row.push_back(util::fmt(pick(series[sys.label][n]), 1));
+      }
+      t.row(row);
+      rows.push_back(row);
+    }
+    std::printf("\n=== Figure 6: %s ===\n", title);
+    const std::string csv = flags.get_string("csv");
+    bench::emit(t, csv.empty() ? "" : csv + "." + title + ".csv", rows);
+  };
+
+  print_metric("cpu_usage_pct", [](const point& p) { return p.cpu_pct; },
+               false);
+  print_metric("disk_usage_pct", [](const point& p) { return p.disk_pct; },
+               false);
+  print_metric("network_kbps", [](const point& p) { return p.net_kbps; },
+               true);
+
+  std::puts(
+      "\nPaper shapes: 1 CPU saturates near 500 clients; 3 CPUs near 1500 "
+      "(3x the load);\nwith 6 CPUs the bottleneck moves to disk bandwidth "
+      "(read one/write all);\nnetwork bytes grow linearly with clients, 6 "
+      "sites above 3 sites (membership\ntraffic).");
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Microbenchmarks of the core primitives (google-benchmark): event queue,
+// certification, marshaling, stability gossip merging, lock table, and
+// the simulated LAN — the hot paths of every experiment.
+#include <benchmark/benchmark.h>
+
+#include "cert/certifier.hpp"
+#include "cert/txn_codec.hpp"
+#include "db/lock_table.hpp"
+#include "gcs/stability.hpp"
+#include "net/lan.hpp"
+#include "sim/simulator.hpp"
+#include "tpcc/workload.hpp"
+
+namespace dbsm {
+namespace {
+
+void BM_event_queue(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::simulator s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule_at(static_cast<sim_time>((i * 2654435761u) % 1000000),
+                    [] {});
+    }
+    s.run();
+    benchmark::DoNotOptimize(s.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_event_queue)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_certify_update(benchmark::State& state) {
+  const auto window = static_cast<std::uint64_t>(state.range(0));
+  cert::certifier c;
+  util::rng g(1);
+  // Pre-fill a steady history.
+  for (std::uint64_t i = 0; i < window; ++i) {
+    std::vector<db::item_id> ws;
+    for (int k = 0; k < 20; ++k)
+      ws.push_back(static_cast<db::item_id>(g.uniform_int(0, 1 << 20)) << 1);
+    cert::normalize(ws);
+    c.certify_update(c.position(), {}, ws);
+  }
+  for (auto _ : state) {
+    std::vector<db::item_id> rs, ws;
+    for (int k = 0; k < 10; ++k)
+      rs.push_back(static_cast<db::item_id>(g.uniform_int(0, 1 << 20)) << 1);
+    for (int k = 0; k < 20; ++k)
+      ws.push_back(static_cast<db::item_id>(g.uniform_int(0, 1 << 20)) << 1);
+    cert::normalize(rs);
+    cert::normalize(ws);
+    benchmark::DoNotOptimize(
+        c.certify_update(c.position() > window ? c.position() - window : 0,
+                         rs, ws));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_certify_update)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_txn_codec_round_trip(benchmark::State& state) {
+  cert::txn_payload p;
+  p.id = 42;
+  p.begin_pos = 7;
+  util::rng g(2);
+  for (int k = 0; k < 30; ++k)
+    p.read_set.push_back(static_cast<db::item_id>(g.next_u64()));
+  for (int k = 0; k < 25; ++k)
+    p.write_set.push_back(static_cast<db::item_id>(g.next_u64()));
+  cert::normalize(p.read_set);
+  cert::normalize(p.write_set);
+  p.update_bytes = 2000;
+  for (auto _ : state) {
+    auto raw = cert::encode_txn(p);
+    auto q = cert::decode_txn(raw);
+    benchmark::DoNotOptimize(q.write_set.size());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cert::encoded_size(p)));
+}
+BENCHMARK(BM_txn_codec_round_trip);
+
+void BM_stability_merge(benchmark::State& state) {
+  const auto members = static_cast<unsigned>(state.range(0));
+  std::vector<node_id> ids;
+  for (unsigned i = 0; i < members; ++i) ids.push_back(i);
+  gcs::stability_tracker mine(ids, 0);
+  gcs::stability_tracker theirs(ids, 1 % members);
+  std::vector<std::uint64_t> prefixes(members, 0);
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    ++tick;
+    for (auto& p : prefixes) p = tick * 10;
+    mine.set_local_prefixes(prefixes);
+    theirs.set_local_prefixes(prefixes);
+    benchmark::DoNotOptimize(mine.merge(theirs.make_gossip(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_stability_merge)->Arg(3)->Arg(6)->Arg(16);
+
+void BM_lock_table_cycle(benchmark::State& state) {
+  db::lock_table lt;
+  util::rng g(3);
+  std::uint64_t id = 1;
+  for (auto _ : state) {
+    std::vector<db::item_id> items;
+    for (int k = 0; k < 8; ++k)
+      items.push_back(static_cast<db::item_id>(g.uniform_int(0, 1 << 16))
+                      << 1);
+    cert::normalize(items);
+    bool granted = false;
+    lt.acquire(id, items, false, [&] { granted = true; },
+               [](db::lock_abort_cause) {});
+    if (granted) {
+      lt.release_commit(id);
+    } else {
+      lt.release_abort(id);
+    }
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_lock_table_cycle);
+
+void BM_lan_multicast(benchmark::State& state) {
+  sim::simulator s;
+  net::lan lan(s, net::lan_config{}, util::rng(4));
+  for (int i = 0; i < 6; ++i) lan.add_host();
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < 6; ++i)
+    lan.set_receiver(i, [&](node_id, util::shared_bytes) { ++delivered; });
+  util::buffer_writer w;
+  w.put_padding(1024);
+  auto payload = w.take();
+  for (auto _ : state) {
+    lan.multicast(0, payload);
+    s.run();
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_lan_multicast);
+
+void BM_tpcc_generate(benchmark::State& state) {
+  tpcc::workload load(tpcc::workload_profile::pentium3_1ghz(), 50,
+                      util::rng(5));
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    auto req = load.next(i % 50, i % 10);
+    benchmark::DoNotOptimize(req.write_set.size());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_tpcc_generate);
+
+}  // namespace
+}  // namespace dbsm
+
+BENCHMARK_MAIN();

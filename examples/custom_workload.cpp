@@ -1,0 +1,97 @@
+// Using the replica API directly, without TPC-C: build a cluster, submit
+// hand-crafted transactions (a read-modify-write counter and an escalated
+// reporting scan), and watch certification arbitrate cross-site conflicts.
+//
+//   $ ./custom_workload
+#include <cstdio>
+
+#include "cert/rwset.hpp"
+#include "core/cluster.hpp"
+
+using namespace dbsm;
+
+namespace {
+
+// A tiny application schema: table 1 = "counters", one tuple per counter.
+constexpr unsigned counters_table = 1;
+
+db::txn_request increment(std::uint32_t counter, sim_duration cpu) {
+  db::txn_request req;
+  const db::item_id tuple = db::make_item(counters_table, 0, 0, counter);
+  req.read_set = {tuple};
+  req.write_set = {tuple, db::make_granule(counters_table, 0, 0)};
+  cert::normalize(req.write_set);
+  req.update_bytes = 64;
+  db::operation op;
+  op.k = db::operation::kind::process;
+  op.cpu = cpu;
+  req.ops = {op};
+  return req;
+}
+
+db::txn_request report_scan(sim_duration cpu) {
+  db::txn_request req;  // read-only scan over the whole counters table
+  req.read_set = {db::make_granule(counters_table, 0, 0)};
+  db::operation op;
+  op.k = db::operation::kind::process;
+  op.cpu = cpu;
+  req.ops = {op};
+  return req;
+}
+
+const char* outcome_str(db::txn_outcome o) { return db::outcome_name(o); }
+
+}  // namespace
+
+int main() {
+  core::cluster::config cfg;
+  cfg.sites = 2;
+  cfg.seed = 3;
+  core::cluster c(cfg);
+  c.start();
+
+  std::printf("1. Non-conflicting increments at both sites:\n");
+  c.sim().schedule_at(milliseconds(50), [&] {
+    c.site(0).submit(increment(1, milliseconds(2)), [](db::txn_outcome o) {
+      std::printf("   site 0, counter 1: %s\n", outcome_str(o));
+    });
+    c.site(1).submit(increment(2, milliseconds(2)), [](db::txn_outcome o) {
+      std::printf("   site 1, counter 2: %s\n", outcome_str(o));
+    });
+  });
+
+  c.sim().schedule_at(seconds(1), [&] {
+    std::printf("2. Concurrent increments of the SAME counter "
+                "(no distributed locks -> certification decides):\n");
+    c.site(0).submit(increment(7, milliseconds(2)), [](db::txn_outcome o) {
+      std::printf("   site 0, counter 7: %s\n", outcome_str(o));
+    });
+    c.site(1).submit(increment(7, milliseconds(2)), [](db::txn_outcome o) {
+      std::printf("   site 1, counter 7: %s\n", outcome_str(o));
+    });
+  });
+
+  c.sim().schedule_at(seconds(2), [&] {
+    std::printf("3. Long reporting scan racing a concurrent increment "
+                "(escalated read aborts):\n");
+    c.site(0).submit(report_scan(milliseconds(100)), [](db::txn_outcome o) {
+      std::printf("   site 0, scan: %s\n", outcome_str(o));
+    });
+    c.sim().schedule_after(milliseconds(10), [&] {
+      c.site(1).submit(increment(9, milliseconds(1)),
+                       [](db::txn_outcome o) {
+                         std::printf("   site 1, counter 9: %s\n",
+                                     outcome_str(o));
+                       });
+    });
+  });
+
+  c.sim().run_until(seconds(4));
+
+  std::printf("\ncommit logs: site0=%zu entries, site1=%zu entries, "
+              "identical=%s\n",
+              c.site(0).commit_log().size(), c.site(1).commit_log().size(),
+              c.site(0).commit_log() == c.site(1).commit_log() ? "yes"
+                                                               : "no");
+  return 0;
+}

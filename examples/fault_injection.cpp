@@ -1,0 +1,89 @@
+// Fault-injection campaign (§5.3): subject one replicated configuration to
+// every fault type the paper injects — clock drift, scheduling latency,
+// random loss, bursty loss, and a crash — and verify after each run that
+// all operational sites committed exactly the same sequence.
+//
+//   $ ./fault_injection [--clients N] [--txns N]
+//
+// This reproduces the paper's use of the tool for automated dependability
+// regression testing (§7: "the ability to autonomously run a set of
+// realistic load and fault scenarios and automatically check for
+// performance or reliability regressions has proved invaluable").
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace dbsm;
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  flags.declare("clients", "120", "TPC-C clients");
+  flags.declare("txns", "1500", "responses per scenario");
+  flags.declare("seed", "7", "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  struct scenario {
+    const char* name;
+    fault::plan plan;
+  };
+  std::vector<scenario> scenarios;
+  scenarios.push_back({"no faults", {}});
+  {
+    fault::plan p;
+    p.clock_drift = 0.10;
+    scenarios.push_back({"clock drift 10%", p});
+  }
+  {
+    fault::plan p;
+    p.sched_latency_max = milliseconds(5);
+    scenarios.push_back({"scheduling latency <=5ms", p});
+  }
+  {
+    fault::plan p;
+    p.random_loss = 0.05;
+    scenarios.push_back({"random loss 5%", p});
+  }
+  {
+    fault::plan p;
+    p.bursty_loss = 0.05;
+    p.burst_len = 5;
+    scenarios.push_back({"bursty loss 5% (len 5)", p});
+  }
+  {
+    fault::plan p;
+    p.crashes.push_back({2, seconds(30)});
+    scenarios.push_back({"crash site 2 at t=30s", p});
+  }
+
+  util::text_table t;
+  t.header({"Scenario", "Committed", "Abort %", "p99 lat (ms)", "Retx",
+            "Views", "Safety"});
+  bool all_safe = true;
+  for (const auto& s : scenarios) {
+    core::experiment_config cfg;
+    cfg.sites = 3;
+    cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
+    cfg.target_responses =
+        static_cast<std::uint64_t>(flags.get_int("txns"));
+    cfg.max_sim_time = seconds(900);
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.faults = s.plan;
+    std::fprintf(stderr, "[fault_injection] %s ...\n", s.name);
+    const auto r = core::run_experiment(cfg);
+    all_safe = all_safe && r.safety.ok;
+    t.row({s.name, util::fmt(r.stats.total_committed()),
+           util::fmt(r.stats.abort_rate_pct(), 2),
+           util::fmt(r.stats.pooled_latency_ms().quantile(0.99), 1),
+           util::fmt(static_cast<std::int64_t>(r.retransmissions)),
+           util::fmt(static_cast<std::int64_t>(r.view_changes)),
+           r.safety.ok ? "ok" : "VIOLATED"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\n%s\n", all_safe
+                            ? "All operational sites committed identical "
+                              "sequences under every fault type."
+                            : "SAFETY VIOLATION DETECTED — see above.");
+  return all_safe ? 0 : 1;
+}

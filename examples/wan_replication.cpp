@@ -1,0 +1,82 @@
+// Wide-area replication: the same DBSM stack over a WAN mesh instead of
+// the LAN — dissemination falls back to unicast fan-out (§3.4) and the
+// total order pays cross-site latency on every update.
+//
+//   $ ./wan_replication [--latency-ms N] [--clients N]
+//
+// The paper motivates this direction in §5.2 ("it is realistic to
+// consider using the technique for distant database sites connected by a
+// wide area network") and concludes that relaxing total order matters in
+// WANs (§5.3).
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+using namespace dbsm;
+
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  flags.declare("clients", "150", "TPC-C clients");
+  flags.declare("txns", "1500", "responses per run");
+  flags.declare("seed", "11", "random seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  util::text_table t;
+  t.header({"Network", "tpm", "update p50 (ms)", "read-only p50 (ms)",
+            "cert p50 (ms)", "Abort %"});
+  for (const sim_duration latency :
+       {milliseconds(0), milliseconds(10), milliseconds(25),
+        milliseconds(50)}) {
+    core::experiment_config cfg;
+    cfg.sites = 3;
+    cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
+    cfg.target_responses =
+        static_cast<std::uint64_t>(flags.get_int("txns"));
+    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.max_sim_time = seconds(1200);
+    std::string label;
+    if (latency == 0) {
+      label = "LAN (100 Mb/s)";
+    } else {
+      cfg.use_wan = true;
+      cfg.wan.default_latency = latency;
+      cfg.wan.access_bandwidth_bps = 10e6;
+      // WAN timers: loss detection and suspicion must out-wait the RTT.
+      cfg.gcs.nak_delay = latency / 2 + milliseconds(8);
+      cfg.gcs.suspect_timeout = milliseconds(300) + 4 * latency;
+      label = std::to_string(static_cast<int>(to_millis(latency))) +
+              " ms one-way WAN";
+    }
+    std::fprintf(stderr, "[wan_replication] %s ...\n", label.c_str());
+    const auto r = core::run_experiment(cfg);
+    if (!r.safety.ok) {
+      std::printf("SAFETY VIOLATION: %s\n", r.safety.detail.c_str());
+      return 1;
+    }
+    util::sample_set update_ms, ro_ms;
+    for (db::txn_class c = 0; c < tpcc::num_classes; ++c) {
+      const auto& s = r.stats.of(c).commit_latency_ms;
+      for (double v : s.sorted()) {
+        if (tpcc::is_update_class(c)) {
+          update_ms.add(v);
+        } else {
+          ro_ms.add(v);
+        }
+      }
+    }
+    t.row({label, util::fmt(r.tpm(), 0),
+           util::fmt(update_ms.quantile(0.5), 1),
+           util::fmt(ro_ms.quantile(0.5), 1),
+           util::fmt(r.cert_latency_ms.quantile(0.5), 1),
+           util::fmt(r.stats.abort_rate_pct(), 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::puts(
+      "\nUpdate latency absorbs the WAN round-trip through the total "
+      "order; read-only\ntransactions terminate locally and stay flat — "
+      "exactly why the paper points to\nrelaxed ordering (generic/"
+      "optimistic broadcast) for wide-area deployments.");
+  return 0;
+}

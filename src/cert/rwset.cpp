@@ -1,0 +1,63 @@
+#include "cert/rwset.hpp"
+
+#include <algorithm>
+
+namespace dbsm::cert {
+
+void normalize(std::vector<db::item_id>& set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+}
+
+bool intersects(const std::vector<db::item_id>& a,
+                const std::vector<db::item_id>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool write_write_conflicts(const std::vector<db::item_id>& a,
+                           const std::vector<db::item_id>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      // Equal ids are either the same tuple (conflict) or the same granule
+      // marker (two writers inside one granule — not a tuple conflict).
+      if (!db::is_granule(*ia)) return true;
+      ++ia;
+      ++ib;
+    }
+  }
+  return false;
+}
+
+std::size_t merge_cost(const std::vector<db::item_id>& a,
+                       const std::vector<db::item_id>& b) {
+  return a.size() + b.size();
+}
+
+void append_scan(std::vector<db::item_id>& out,
+                 const std::vector<db::item_id>& scan_tuples,
+                 db::item_id granule, std::size_t threshold) {
+  if (scan_tuples.size() > threshold) {
+    out.push_back(granule);
+  } else {
+    out.insert(out.end(), scan_tuples.begin(), scan_tuples.end());
+  }
+}
+
+}  // namespace dbsm::cert

@@ -1,0 +1,63 @@
+#include "cert/txn_codec.hpp"
+
+#include "util/check.hpp"
+
+namespace dbsm::cert {
+
+txn_payload make_payload(const db::txn_request& req,
+                         std::uint64_t begin_pos) {
+  txn_payload p;
+  p.id = req.id;
+  p.cls = req.cls;
+  p.origin = req.origin;
+  p.begin_pos = begin_pos;
+  p.read_set = req.read_set;
+  p.write_set = req.write_set;
+  p.update_bytes = req.update_bytes;
+  p.disk_sectors = req.disk_sectors;
+  return p;
+}
+
+std::size_t encoded_size(const txn_payload& p) {
+  return 8 + 2 + 4 + 8 + 2 + 4 + 8 * p.read_set.size() + 4 +
+         8 * p.write_set.size() + 4 + p.update_bytes;
+}
+
+util::shared_bytes encode_txn(const txn_payload& p) {
+  util::buffer_writer w(encoded_size(p));
+  w.put_u64(p.id);
+  w.put_u16(p.cls);
+  w.put_u32(p.origin);
+  w.put_u64(p.begin_pos);
+  w.put_u32(static_cast<std::uint32_t>(p.read_set.size()));
+  for (db::item_id it : p.read_set) w.put_u64(it);
+  w.put_u32(static_cast<std::uint32_t>(p.write_set.size()));
+  for (db::item_id it : p.write_set) w.put_u64(it);
+  w.put_u16(p.disk_sectors);
+  w.put_u32(p.update_bytes);
+  // The written values: padding of the real payload size (§3.3).
+  w.put_padding(p.update_bytes);
+  return w.take();
+}
+
+txn_payload decode_txn(const util::shared_bytes& raw) {
+  util::buffer_reader r(raw);
+  txn_payload p;
+  p.id = r.get_u64();
+  p.cls = r.get_u16();
+  p.origin = r.get_u32();
+  p.begin_pos = r.get_u64();
+  const std::uint32_t nr = r.get_u32();
+  p.read_set.reserve(nr);
+  for (std::uint32_t i = 0; i < nr; ++i) p.read_set.push_back(r.get_u64());
+  const std::uint32_t nw = r.get_u32();
+  p.write_set.reserve(nw);
+  for (std::uint32_t i = 0; i < nw; ++i) p.write_set.push_back(r.get_u64());
+  p.disk_sectors = r.get_u16();
+  p.update_bytes = r.get_u32();
+  r.skip(p.update_bytes);
+  DBSM_CHECK(r.done());
+  return p;
+}
+
+}  // namespace dbsm::cert

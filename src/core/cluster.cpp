@@ -1,0 +1,73 @@
+#include "core/cluster.hpp"
+
+#include "util/check.hpp"
+
+namespace dbsm::core {
+
+cluster::cluster(config cfg) : cfg_(std::move(cfg)) {
+  DBSM_CHECK(cfg_.sites >= 1);
+  util::rng root(cfg_.seed);
+  if (cfg_.use_wan) {
+    net_ = std::make_unique<net::wan>(sim_, cfg_.wan, root.fork("wan"));
+  } else {
+    net_ = std::make_unique<net::lan>(sim_, cfg_.lan, root.fork("lan"));
+  }
+
+  std::vector<node_id> members;
+  for (unsigned i = 0; i < cfg_.sites; ++i) {
+    const node_id id = net_->add_host();
+    DBSM_CHECK(id == i);
+    members.push_back(id);
+  }
+  cfg_.gcs.members = members;
+
+  cfg_.replica_cfg.total_sites = cfg_.sites;
+  for (unsigned i = 0; i < cfg_.sites; ++i) {
+    util::rng site_rng = root.fork("site" + std::to_string(i));
+    cpus_.push_back(
+        std::make_unique<csrt::cpu_pool>(sim_, cfg_.cpus_per_site));
+    transports_.push_back(std::make_unique<net::udp_transport>(*net_, i));
+
+    csrt::sim_env::config env_cfg;
+    env_cfg.self = i;
+    env_cfg.peers = members;
+    env_cfg.costs = cfg_.costs;
+    env_cfg.measured_scale = cfg_.measured_scale;
+    env_cfg.measure_real_time = cfg_.measure_real_time;
+    envs_.push_back(std::make_unique<csrt::sim_env>(
+        sim_, *cpus_.back(), *transports_.back(), env_cfg,
+        site_rng.fork("env")));
+    transports_.back()->attach(*envs_.back());
+
+    groups_.push_back(
+        std::make_unique<gcs::group>(*envs_.back(), cfg_.gcs));
+    replicas_.push_back(std::make_unique<replica>(
+        sim_, *cpus_.back(), *envs_.back(), *groups_.back(), cfg_.replica_cfg,
+        site_rng.fork("replica")));
+  }
+  crashed_.assign(cfg_.sites, false);
+}
+
+cluster::~cluster() = default;
+
+void cluster::start() {
+  for (auto& r : replicas_) r->start();
+  for (auto& g : groups_) g->start();
+}
+
+void cluster::crash_site(unsigned i) {
+  DBSM_CHECK(i < cfg_.sites);
+  if (crashed_[i]) return;
+  crashed_[i] = true;
+  net_->isolate(i);
+  replicas_[i]->halt();
+}
+
+std::vector<unsigned> cluster::operational_sites() const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < cfg_.sites; ++i)
+    if (!crashed_[i]) out.push_back(i);
+  return out;
+}
+
+}  // namespace dbsm::core

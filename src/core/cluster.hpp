@@ -1,0 +1,78 @@
+// Builds and wires a replicated database over the simulated LAN: one
+// simulator, one network, and per site a CPU pool, env bridge, group
+// communication stack and replica (Fig 2's full architecture).
+#ifndef DBSM_CORE_CLUSTER_HPP
+#define DBSM_CORE_CLUSTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/replica.hpp"
+#include "csrt/cpu.hpp"
+#include "csrt/sim_env.hpp"
+#include "gcs/group.hpp"
+#include "net/lan.hpp"
+#include "net/udp_transport.hpp"
+#include "net/wan.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbsm::core {
+
+class cluster {
+ public:
+  struct config {
+    unsigned sites = 3;
+    unsigned cpus_per_site = 1;
+    replica::config replica_cfg;
+    gcs::group_config gcs;  // `members` filled automatically
+    csrt::net_cost_model costs;
+    net::lan_config lan;
+    /// Use a wide-area mesh instead of the LAN (unicast fan-out, §3.4).
+    bool use_wan = false;
+    net::wan_config wan;
+    /// Measure real protocol execution with the thread CPU clock instead
+    /// of the deterministic cost model (§2.3).
+    bool measure_real_time = false;
+    double measured_scale = 1.0;
+    std::uint64_t seed = 42;
+  };
+
+  explicit cluster(config cfg);
+  ~cluster();
+
+  cluster(const cluster&) = delete;
+  cluster& operator=(const cluster&) = delete;
+
+  /// Boots all protocol stacks (group membership, replicas).
+  void start();
+
+  sim::simulator& sim() { return sim_; }
+  net::medium& network() { return *net_; }
+  unsigned sites() const { return cfg_.sites; }
+
+  replica& site(unsigned i) { return *replicas_.at(i); }
+  gcs::group& group(unsigned i) { return *groups_.at(i); }
+  csrt::cpu_pool& cpu(unsigned i) { return *cpus_.at(i); }
+  csrt::sim_env& env(unsigned i) { return *envs_.at(i); }
+
+  /// Crash fault (§5.3): "a node is stopped at the specified time, thus
+  /// completely stopping interaction with other nodes."
+  void crash_site(unsigned i);
+  bool crashed(unsigned i) const { return crashed_.at(i); }
+  std::vector<unsigned> operational_sites() const;
+
+ private:
+  config cfg_;
+  sim::simulator sim_;
+  std::unique_ptr<net::medium> net_;
+  std::vector<std::unique_ptr<csrt::cpu_pool>> cpus_;
+  std::vector<std::unique_ptr<net::udp_transport>> transports_;
+  std::vector<std::unique_ptr<csrt::sim_env>> envs_;
+  std::vector<std::unique_ptr<gcs::group>> groups_;
+  std::vector<std::unique_ptr<replica>> replicas_;
+  std::vector<bool> crashed_;
+};
+
+}  // namespace dbsm::core
+
+#endif  // DBSM_CORE_CLUSTER_HPP

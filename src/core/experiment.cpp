@@ -1,0 +1,130 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace dbsm::core {
+
+experiment_result run_experiment(const experiment_config& cfg) {
+  DBSM_CHECK(cfg.clients >= 1);
+
+  const unsigned total_sites =
+      cfg.sites + (cfg.dedicated_sequencer ? 1 : 0);
+  cluster::config ccfg;
+  ccfg.sites = total_sites;
+  ccfg.cpus_per_site = cfg.cpus_per_site;
+  ccfg.replica_cfg = cfg.replica_cfg;
+  ccfg.replica_cfg.replication_degree = cfg.replication_degree;
+  ccfg.gcs = cfg.gcs;
+  ccfg.costs = cfg.costs;
+  ccfg.lan = cfg.lan;
+  ccfg.use_wan = cfg.use_wan;
+  ccfg.wan = cfg.wan;
+  ccfg.measure_real_time = cfg.measure_real_time;
+  ccfg.seed = cfg.seed;
+  cluster c(ccfg);
+
+  util::rng root(cfg.seed);
+
+  // Fault plan: loss and timing faults per site, crashes on the timeline.
+  for (unsigned i = 0; i < total_sites; ++i) {
+    fault::apply_loss(c.network(), i, cfg.faults);
+    fault::apply_timing(c.env(i), i, cfg.faults);
+  }
+
+  // One workload generator per site; the site's clients share it.
+  const unsigned warehouses = tpcc::warehouses_for_clients(cfg.clients);
+  std::vector<std::unique_ptr<tpcc::workload>> loads;
+  for (unsigned i = 0; i < total_sites; ++i) {
+    loads.push_back(std::make_unique<tpcc::workload>(
+        cfg.profile, warehouses, root.fork("load" + std::to_string(i))));
+  }
+
+  experiment_result result;
+  std::uint64_t responses = 0;
+
+  // Clients: warehouse i/10 so that one warehouse's clients spread over
+  // all sites ("an equal share of clients is assigned to each site").
+  std::vector<std::unique_ptr<tpcc::client>> clients;
+  std::vector<std::vector<tpcc::client*>> site_clients(total_sites);
+  const double think_mean = cfg.profile.think_time->mean();
+  util::rng stagger = root.fork("stagger");
+
+  const unsigned first_client_site = cfg.dedicated_sequencer ? 1 : 0;
+  for (unsigned i = 0; i < cfg.clients; ++i) {
+    const unsigned site = first_client_site + i % cfg.sites;
+    const auto home_w = static_cast<std::uint32_t>(
+        i / tpcc::clients_per_warehouse);
+    const auto home_d =
+        static_cast<std::uint32_t>(i % tpcc::districts_per_warehouse);
+    replica& rep = c.site(site);
+    auto submit = [&rep](db::txn_request req,
+                         std::function<void(db::txn_outcome)> done) {
+      rep.submit(std::move(req), std::move(done));
+    };
+    auto report = [&result, &responses, &c,
+                   &cfg](const tpcc::client::result& r) {
+      result.stats.record(r.cls, r.outcome, r.submitted, r.finished);
+      ++responses;
+      if (cfg.target_responses != 0 && responses >= cfg.target_responses)
+        c.sim().stop();
+    };
+    clients.push_back(std::make_unique<tpcc::client>(
+        c.sim(), *loads[site], home_w, home_d, submit, report,
+        root.fork("client" + std::to_string(i))));
+    site_clients[site].push_back(clients.back().get());
+  }
+
+  for (const fault::crash_spec& crash : cfg.faults.crashes) {
+    DBSM_CHECK(crash.site < cfg.sites);
+    c.sim().schedule_at(crash.at, [&c, &site_clients, crash] {
+      c.crash_site(crash.site);
+      for (tpcc::client* cl : site_clients[crash.site]) cl->stop();
+    });
+  }
+
+  c.start();
+  // Stagger starts uniformly across one mean think time: steady state
+  // without a thundering herd.
+  for (auto& cl : clients) {
+    cl->start(from_seconds(stagger.uniform() * think_mean));
+  }
+
+  c.sim().run_until(cfg.max_sim_time);
+
+  // --- gather ---
+  result.duration = c.sim().now();
+  result.responses = responses;
+
+  const auto operational = c.operational_sites();
+  DBSM_CHECK(!operational.empty());
+  for (unsigned i : operational) {
+    result.cpu_utilization += c.cpu(i).utilization();
+    result.protocol_cpu_utilization += c.cpu(i).real_utilization();
+    result.disk_utilization += c.site(i).server().disk().utilization();
+    for (double v : c.site(i).cert_latency_ms().sorted())
+      result.cert_latency_ms.add(v);
+    result.commit_logs.push_back(c.site(i).commit_log());
+    const auto& rs = c.group(i).rmcast_stats();
+    result.naks_sent += rs.naks_sent;
+    result.retransmissions += rs.retransmissions;
+    result.blocked_episodes += rs.blocked_episodes;
+    result.blocked_ms += to_millis(rs.blocked_time);
+    result.view_changes = std::max(result.view_changes,
+                                   c.group(i).view_changes());
+  }
+  const double n = static_cast<double>(operational.size());
+  result.cpu_utilization /= n;
+  result.protocol_cpu_utilization /= n;
+  result.disk_utilization /= n;
+  if (result.duration > 0) {
+    result.network_kbps =
+        static_cast<double>(c.network().total_wire_bytes()) / 1024.0 /
+        to_seconds(result.duration);
+  }
+  result.safety = check_commit_logs(result.commit_logs);
+  return result;
+}
+
+}  // namespace dbsm::core

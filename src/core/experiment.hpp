@@ -1,0 +1,77 @@
+// Experiment harness: one call runs a complete scenario — replicated (or
+// centralized) database, TPC-C clients, optional fault plan — and returns
+// every metric the paper's evaluation section reports.
+#ifndef DBSM_CORE_EXPERIMENT_HPP
+#define DBSM_CORE_EXPERIMENT_HPP
+
+#include "core/cluster.hpp"
+#include "core/safety.hpp"
+#include "core/txn_stats.hpp"
+#include "fault/fault_plan.hpp"
+#include "tpcc/client.hpp"
+
+namespace dbsm::core {
+
+struct experiment_config {
+  unsigned sites = 3;
+  unsigned cpus_per_site = 1;
+  unsigned clients = 500;
+
+  /// Stop after this many client responses (the paper runs 10 000
+  /// transactions per configuration, §5.1); 0 means run to max_sim_time.
+  std::uint64_t target_responses = 10000;
+  sim_duration max_sim_time = seconds(3600);
+  std::uint64_t seed = 42;
+
+  tpcc::workload_profile profile = tpcc::workload_profile::pentium3_1ghz();
+  replica::config replica_cfg;
+  gcs::group_config gcs;
+  csrt::net_cost_model costs;
+  net::lan_config lan;
+  bool use_wan = false;
+  net::wan_config wan;
+  bool measure_real_time = false;
+  fault::plan faults;
+
+  /// §5.3 mitigation: run the fixed sequencer on a dedicated extra site
+  /// that serves no clients (the protocol still elects the lowest id, so
+  /// the extra site, added as id 0 ... first, becomes sequencer).
+  bool dedicated_sequencer = false;
+
+  /// §6 / [24]: apply each update at only this many sites (0 = all).
+  unsigned replication_degree = 0;
+};
+
+struct experiment_result {
+  txn_stats stats{tpcc::num_classes};
+  sim_duration duration = 0;  // simulated time when the run stopped
+  std::uint64_t responses = 0;
+
+  // Resource usage (mean over operational sites; Fig 6).
+  double cpu_utilization = 0.0;
+  double protocol_cpu_utilization = 0.0;  // real (protocol) jobs only
+  double disk_utilization = 0.0;
+  double network_kbps = 0.0;  // aggregate wire KB/s
+
+  // Certification latency at origin sites (Fig 7b).
+  util::sample_set cert_latency_ms;
+
+  // Safety (§5.3): committed sequences of operational sites.
+  std::vector<std::vector<std::uint64_t>> commit_logs;
+  safety_report safety;
+
+  // GCS probes (§5.3 analysis).
+  std::uint64_t naks_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t blocked_episodes = 0;
+  double blocked_ms = 0.0;
+  std::uint64_t view_changes = 0;
+
+  double tpm() const { return stats.tpm(duration); }
+};
+
+experiment_result run_experiment(const experiment_config& cfg);
+
+}  // namespace dbsm::core
+
+#endif  // DBSM_CORE_EXPERIMENT_HPP

@@ -1,0 +1,155 @@
+#include "core/replica.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace dbsm::core {
+
+namespace {
+/// Local transaction ids carry the origin site in the top bits, so they
+/// are globally unique without coordination.
+std::uint64_t make_txn_id(node_id site, std::uint64_t counter) {
+  return (static_cast<std::uint64_t>(site) << 40) | counter;
+}
+}  // namespace
+
+replica::replica(sim::simulator& sim, csrt::cpu_pool& cpu,
+                 csrt::sim_env& env, gcs::group& group, config cfg,
+                 util::rng gen)
+    : sim_(sim), cpu_(cpu), env_(env), group_(group), cfg_(cfg),
+      server_(sim, cpu, cfg.server, gen.fork("server")),
+      cert_(cfg.cert), rng_(gen.fork("replica")) {}
+
+void replica::start() {
+  group_.set_deliver([this](node_id sender, std::uint64_t seq,
+                            util::shared_bytes payload) {
+    on_deliver(sender, seq, std::move(payload));
+  });
+}
+
+sim_duration replica::codec_cost(std::size_t bytes) const {
+  return cfg_.codec_cost_fixed +
+         static_cast<sim_duration>(cfg_.codec_cost_per_byte_ns *
+                                   static_cast<double>(bytes));
+}
+
+void replica::submit(db::txn_request req,
+                     std::function<void(db::txn_outcome)> done) {
+  if (halted_) return;  // crashed replicas leave their clients blocked
+  req.id = make_txn_id(env_.self(), ++next_local_txn_);
+  req.origin = env_.self();
+
+  pending_txn p;
+  p.begin_pos = cert_.position();  // snapshot at transaction begin
+  pending_.emplace(req.id, p);
+
+  const std::uint64_t id = req.id;
+  server_.submit(
+      std::move(req),
+      [this](const db::txn_request& executed) { on_executed(executed); },
+      [this, done = std::move(done), id](std::uint64_t,
+                                         db::txn_outcome outcome) {
+        pending_.erase(id);
+        if (!halted_ && done) done(outcome);
+      });
+}
+
+void replica::on_executed(const db::txn_request& req) {
+  auto it = pending_.find(req.id);
+  DBSM_CHECK(it != pending_.end());
+  const std::uint64_t begin_pos = it->second.begin_pos;
+  const std::uint64_t id = req.id;
+
+  if (req.read_only()) {
+    // Read-only transactions terminate locally (§5.1: replication leaves
+    // their latency unaffected): certify against the local history.
+    auto read_set = req.read_set;
+    env_.post([this, id, begin_pos, read_set = std::move(read_set)] {
+      env_.charge(cfg_.codec_cost_fixed);
+      const bool ok = cert_.certify_read_only(begin_pos, read_set);
+      env_.charge(cert_.last_cost());
+      env_.call_out([this, id, ok] {
+        if (!server_.active(id)) return;
+        if (ok) {
+          server_.finish_commit(id);
+        } else {
+          server_.finish_abort(id);
+        }
+      });
+    });
+    return;
+  }
+
+  // Update transaction: marshal the execution outcome and atomically
+  // multicast it to all replicas (distributed termination, §3.3).
+  it->second.in_termination = true;
+  const cert::txn_payload payload = cert::make_payload(req, begin_pos);
+  env_.post([this, id, payload = std::move(payload)] {
+    util::shared_bytes wire = cert::encode_txn(payload);
+    env_.charge(codec_cost(wire->size()));
+    auto pit = pending_.find(id);
+    if (pit != pending_.end()) pit->second.multicast_at = env_.now();
+    group_.broadcast(std::move(wire));
+  });
+}
+
+void replica::on_deliver(node_id, std::uint64_t,
+                         util::shared_bytes payload) {
+  if (halted_) return;
+  // Runs as real code in the delivery job: unmarshal and certify.
+  env_.charge(codec_cost(payload->size()));
+  const cert::txn_payload txn = cert::decode_txn(payload);
+  const bool commit =
+      cert_.certify_update(txn.begin_pos, txn.read_set, txn.write_set);
+  env_.charge(cert_.last_cost());
+  if (commit) commit_log_.push_back(txn.id);
+
+  env_.call_out([this, txn = std::move(txn), commit] {
+    if (halted_) return;
+    if (txn.origin == env_.self()) {
+      auto it = pending_.find(txn.id);
+      if (it != pending_.end() && it->second.multicast_at != 0) {
+        cert_latency_.add(to_millis(sim_.now() - it->second.multicast_at));
+      }
+      if (server_.active(txn.id)) {
+        if (commit) {
+          server_.finish_commit(txn.id);
+        } else {
+          server_.finish_abort(txn.id);
+        }
+      } else {
+        // The transaction was preempted by a certified remote conflict;
+        // certification must have found that same conflict.
+        DBSM_CHECK_MSG(!commit,
+                       "preempted transaction passed certification");
+      }
+      return;
+    }
+    if (commit) {
+      // Partial replication: apply only within the transaction's replica
+      // set (origin + next replication_degree-1 sites, modulo sites).
+      if (cfg_.replication_degree != 0 &&
+          cfg_.replication_degree < cfg_.total_sites) {
+        const unsigned distance =
+            (env_.self() + cfg_.total_sites - txn.origin) %
+            cfg_.total_sites;
+        if (distance >= cfg_.replication_degree) return;
+      }
+      // Remotely initiated: acquire locks (preempting local holders),
+      // write back, release (§3.1).
+      db::txn_request req;
+      req.id = txn.id;
+      req.cls = txn.cls;
+      req.origin = txn.origin;
+      req.read_set = txn.read_set;
+      req.write_set = txn.write_set;
+      req.update_bytes = txn.update_bytes;
+      req.disk_sectors = txn.disk_sectors;
+      server_.apply_remote(req, {});
+    }
+  });
+}
+
+}  // namespace dbsm::core

@@ -1,0 +1,104 @@
+// One DBSM replica: database server + certifier + group communication,
+// implementing the distributed termination protocol (§1, §3.3).
+//
+// Local path: execute under local concurrency control → marshal outcome
+// (read/write sets, written values, snapshot) → atomic multicast → on
+// ordered delivery, certify deterministically → commit (write back,
+// release, reply) or abort. Remote path: certified transactions apply
+// with preemption. Read-only transactions certify locally, without
+// multicast, so their latency is unaffected by replication (§5.1).
+#ifndef DBSM_CORE_REPLICA_HPP
+#define DBSM_CORE_REPLICA_HPP
+
+#include <unordered_map>
+
+#include "cert/certifier.hpp"
+#include "cert/txn_codec.hpp"
+#include "csrt/sim_env.hpp"
+#include "db/server.hpp"
+#include "gcs/group.hpp"
+#include "util/stats.hpp"
+
+namespace dbsm::core {
+
+class replica {
+ public:
+  struct config {
+    db::server_config server;
+    cert::cert_config cert;
+    /// Modeled CPU of marshaling/unmarshaling termination messages.
+    sim_duration codec_cost_fixed = microseconds(15);
+    double codec_cost_per_byte_ns = 2.0;
+
+    /// Partial replication (§6 / [24], the paper's proposed mitigation of
+    /// the read-one/write-all disk ceiling): each update is applied at its
+    /// origin plus the next `replication_degree - 1` sites. 0 means full
+    /// replication. Certification stays global (the total order is still
+    /// delivered everywhere), only write application is partial.
+    unsigned replication_degree = 0;
+    unsigned total_sites = 1;
+  };
+
+  replica(sim::simulator& sim, csrt::cpu_pool& cpu, csrt::sim_env& env,
+          gcs::group& group, config cfg, util::rng gen);
+
+  replica(const replica&) = delete;
+  replica& operator=(const replica&) = delete;
+
+  /// Wires the group delivery callback; call once before the run.
+  void start();
+
+  /// Client entry point. `done` fires exactly once with the outcome
+  /// (never, if this replica crashed — its clients block, §5.3).
+  void submit(db::txn_request req,
+              std::function<void(db::txn_outcome)> done);
+
+  /// Crash: stop interacting (the cluster also isolates the transport).
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
+  db::server& server() { return server_; }
+  const db::server& server() const { return server_; }
+  const cert::certifier& certifier() const { return cert_; }
+
+  /// Sequence of committed update transactions (identical at all
+  /// operational sites — the off-line safety check input, §5.3).
+  const std::vector<std::uint64_t>& commit_log() const { return commit_log_; }
+
+  /// Certification latency at the origin site: multicast → decision
+  /// applied (Fig 7b).
+  const util::sample_set& cert_latency_ms() const { return cert_latency_; }
+
+  node_id id() const { return env_.self(); }
+
+ private:
+  void on_executed(const db::txn_request& req);
+  void on_deliver(node_id sender, std::uint64_t global_seq,
+                  util::shared_bytes payload);
+  sim_duration codec_cost(std::size_t bytes) const;
+
+  struct pending_txn {
+    std::uint64_t begin_pos = 0;
+    sim_time multicast_at = 0;
+    bool in_termination = false;
+  };
+
+  sim::simulator& sim_;
+  csrt::cpu_pool& cpu_;
+  csrt::sim_env& env_;
+  gcs::group& group_;
+  config cfg_;
+  db::server server_;
+  cert::certifier cert_;
+  util::rng rng_;
+
+  std::uint64_t next_local_txn_ = 0;
+  std::unordered_map<std::uint64_t, pending_txn> pending_;
+  std::vector<std::uint64_t> commit_log_;
+  util::sample_set cert_latency_;
+  bool halted_ = false;
+};
+
+}  // namespace dbsm::core
+
+#endif  // DBSM_CORE_REPLICA_HPP

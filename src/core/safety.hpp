@@ -1,0 +1,28 @@
+// Off-line safety check (§5.3): "we ensure that all operational sites must
+// commit exactly the same sequence of transactions by comparing logs
+// off-line after the simulation has finished."
+#ifndef DBSM_CORE_SAFETY_HPP
+#define DBSM_CORE_SAFETY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbsm::core {
+
+struct safety_report {
+  bool ok = true;
+  /// Length of the longest common prefix across all logs.
+  std::size_t common_prefix = 0;
+  std::string detail;  // first divergence, when !ok
+};
+
+/// Verifies that every log is a prefix of the longest one (sites may lag
+/// by in-flight transactions at the instant the run stops, but may never
+/// disagree on the order or content of what they committed).
+safety_report check_commit_logs(
+    const std::vector<std::vector<std::uint64_t>>& logs);
+
+}  // namespace dbsm::core
+
+#endif  // DBSM_CORE_SAFETY_HPP

@@ -1,0 +1,155 @@
+#include "csrt/cpu.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dbsm::csrt {
+
+cpu_pool::cpu_pool(sim::simulator& sim, unsigned n)
+    : sim_(sim),
+      cpus_(n),
+      total_busy_(static_cast<double>(n)),
+      real_busy_(static_cast<double>(n)) {
+  DBSM_CHECK(n > 0);
+}
+
+job_id cpu_pool::submit_simulated(sim_duration d, std::function<void()> done) {
+  DBSM_CHECK(d >= 0);
+  pending_job job;
+  job.id = next_job_id_++;
+  job.is_real = false;
+  job.remaining = d;
+  job.done = std::move(done);
+  const job_id id = job.id;
+  sim_pending_.push_back(std::move(job));
+  dispatch();
+  return id;
+}
+
+void cpu_pool::submit_real(std::function<sim_duration()> work,
+                           std::function<void()> done) {
+  DBSM_CHECK(work != nullptr);
+  pending_job job;
+  job.is_real = true;
+  job.work = std::move(work);
+  job.done = std::move(done);
+  real_pending_.push_back(std::move(job));
+  dispatch();
+}
+
+bool cpu_pool::cancel_simulated(job_id id) {
+  // Queued?
+  auto it = std::find_if(sim_pending_.begin(), sim_pending_.end(),
+                         [id](const pending_job& j) { return j.id == id; });
+  if (it != sim_pending_.end()) {
+    sim_pending_.erase(it);
+    return true;
+  }
+  // Running?
+  for (unsigned c = 0; c < cpus_.size(); ++c) {
+    cpu_state& cpu = cpus_[c];
+    if (cpu.busy && !cpu.running_real && cpu.running_id == id) {
+      sim_.cancel(cpu.completion);
+      cpu = cpu_state{};
+      update_trackers();
+      dispatch();
+      return true;
+    }
+  }
+  return false;
+}
+
+int cpu_pool::find_idle() const {
+  for (unsigned c = 0; c < cpus_.size(); ++c)
+    if (!cpus_[c].busy) return static_cast<int>(c);
+  return -1;
+}
+
+int cpu_pool::find_preemptible() const {
+  for (unsigned c = 0; c < cpus_.size(); ++c)
+    if (cpus_[c].busy && !cpus_[c].running_real) return static_cast<int>(c);
+  return -1;
+}
+
+void cpu_pool::dispatch() {
+  // Real jobs first; they may preempt running simulated jobs.
+  while (!real_pending_.empty()) {
+    int cpu = find_idle();
+    if (cpu < 0) cpu = find_preemptible();
+    if (cpu < 0) break;
+    if (cpus_[cpu].busy) preempt(static_cast<unsigned>(cpu));
+    pending_job job = std::move(real_pending_.front());
+    real_pending_.pop_front();
+    start_on(static_cast<unsigned>(cpu), std::move(job));
+  }
+  while (!sim_pending_.empty()) {
+    const int cpu = find_idle();
+    if (cpu < 0) break;
+    pending_job job = std::move(sim_pending_.front());
+    sim_pending_.pop_front();
+    start_on(static_cast<unsigned>(cpu), std::move(job));
+  }
+}
+
+void cpu_pool::start_on(unsigned cpu, pending_job job) {
+  cpu_state& state = cpus_[cpu];
+  DBSM_CHECK(!state.busy);
+  state.busy = true;
+  state.running_real = job.is_real;
+  state.running_id = job.is_real ? 0 : job.id;
+  state.done = std::move(job.done);
+  update_trackers();
+
+  sim_duration d;
+  if (job.is_real) {
+    // Real code runs now, in zero simulated time; its measured/modeled
+    // duration is then charged to this CPU (Fig 1a).
+    d = job.work();
+    DBSM_CHECK_MSG(d >= 0, "real job returned negative duration " << d);
+  } else {
+    d = job.remaining;
+  }
+  state.end_time = sim_.now() + d;
+  state.completion = sim_.schedule_at(state.end_time,
+                                      [this, cpu] { complete(cpu); });
+}
+
+void cpu_pool::complete(unsigned cpu) {
+  cpu_state& state = cpus_[cpu];
+  DBSM_CHECK(state.busy);
+  std::function<void()> done = std::move(state.done);
+  state = cpu_state{};
+  update_trackers();
+  if (done) done();
+  dispatch();
+}
+
+void cpu_pool::preempt(unsigned cpu) {
+  cpu_state& state = cpus_[cpu];
+  DBSM_CHECK(state.busy && !state.running_real);
+  sim_.cancel(state.completion);
+  pending_job job;
+  job.id = state.running_id;
+  job.is_real = false;
+  job.remaining = state.end_time - sim_.now();
+  if (job.remaining < 0) job.remaining = 0;
+  job.done = std::move(state.done);
+  state = cpu_state{};
+  // Resumes ahead of other queued simulated work.
+  sim_pending_.push_front(std::move(job));
+  update_trackers();
+}
+
+void cpu_pool::update_trackers() {
+  double busy = 0.0, real = 0.0;
+  for (const cpu_state& c : cpus_) {
+    if (c.busy) {
+      busy += 1.0;
+      if (c.running_real) real += 1.0;
+    }
+  }
+  total_busy_.set_busy(sim_.now(), busy);
+  real_busy_.set_busy(sim_.now(), real);
+}
+
+}  // namespace dbsm::csrt

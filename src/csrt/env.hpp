@@ -1,0 +1,99 @@
+// The protocol abstraction layer (§2.3).
+//
+// Replication components (group communication, certification) are "real
+// code": they target this single-threaded interface only — job scheduling,
+// clock access and a simplified datagram interface. It is implemented twice:
+//   * sim_env    — bridges into the simulation kernel / network model and
+//                  charges the simulated CPU for execution time;
+//   * native_env — bridges onto OS timers and UDP sockets, so the very same
+//                  protocol code runs on a real network.
+#ifndef DBSM_CSRT_ENV_HPP
+#define DBSM_CSRT_ENV_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::csrt {
+
+/// Invoked for each datagram delivered to this node.
+using msg_handler = std::function<void(node_id from, util::shared_bytes msg)>;
+
+/// Handle for cancelling timers. 0 is never valid.
+using timer_id = std::uint64_t;
+
+/// Per-message CPU overhead of the communication path — the four CSRT
+/// configuration parameters of §4.1 (fixed and size-proportional cost of
+/// sending and of receiving one datagram), determined in the paper with a
+/// network flooding benchmark.
+struct net_cost_model {
+  sim_duration send_fixed = microseconds(15);
+  double send_per_byte_ns = 10.0;
+  sim_duration recv_fixed = microseconds(15);
+  double recv_per_byte_ns = 10.0;
+
+  sim_duration send_cost(std::size_t bytes) const {
+    return send_fixed +
+           static_cast<sim_duration>(send_per_byte_ns *
+                                     static_cast<double>(bytes));
+  }
+  sim_duration recv_cost(std::size_t bytes) const {
+    return recv_fixed +
+           static_cast<sim_duration>(recv_per_byte_ns *
+                                     static_cast<double>(bytes));
+  }
+};
+
+/// Single-threaded runtime environment for protocol code.
+class env {
+ public:
+  virtual ~env() = default;
+
+  /// This node's identity.
+  virtual node_id self() const = 0;
+
+  /// Static transport-level peer set (including self). Dynamic membership
+  /// is the group-communication layer's business, not the transport's.
+  virtual const std::vector<node_id>& peers() const = 0;
+
+  /// Current time in nanoseconds. Inside a real-code job this advances with
+  /// the job's own measured/charged execution time (clock-stop technique).
+  virtual sim_time now() = 0;
+
+  /// Runs `fn` after `d` nanoseconds, as real code.
+  virtual timer_id set_timer(sim_duration d, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; returns false if it already fired.
+  virtual bool cancel_timer(timer_id id) = 0;
+
+  /// Sends a datagram to one peer (unreliable, unordered).
+  virtual void send(node_id to, util::shared_bytes msg) = 0;
+
+  /// Sends a datagram to all peers (IP multicast on a LAN; the transport
+  /// falls back to unicast fan-out where multicast is unavailable).
+  virtual void multicast(util::shared_bytes msg) = 0;
+
+  /// Charges `cost` nanoseconds of CPU to the current job. Used by the
+  /// deterministic cost model; a no-op when real measurement is active.
+  virtual void charge(sim_duration cost) = 0;
+
+  /// Registers the datagram delivery handler.
+  virtual void set_handler(msg_handler h) = 0;
+
+  /// Schedules `fn` to run as real code as soon as possible (bootstrap).
+  virtual void post(std::function<void()> fn) = 0;
+
+  /// Deterministic per-node random stream.
+  virtual util::rng& random() = 0;
+
+  /// Largest safe datagram payload, in bytes.
+  virtual std::size_t max_datagram() const = 0;
+};
+
+}  // namespace dbsm::csrt
+
+#endif  // DBSM_CSRT_ENV_HPP

@@ -1,0 +1,50 @@
+#include "csrt/profiler.hpp"
+
+#include <ctime>
+
+#include "util/check.hpp"
+
+namespace dbsm::csrt {
+
+std::int64_t thread_cpu_profiler::thread_cpu_now() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+void thread_cpu_profiler::start() {
+  DBSM_CHECK(!active_);
+  active_ = true;
+  running_ = true;
+  accumulated_ = 0;
+  t0_ = thread_cpu_now();
+}
+
+void thread_cpu_profiler::pause() {
+  DBSM_CHECK(active_);
+  if (!running_) return;
+  accumulated_ += thread_cpu_now() - t0_;
+  running_ = false;
+}
+
+void thread_cpu_profiler::resume() {
+  DBSM_CHECK(active_);
+  if (running_) return;
+  running_ = true;
+  t0_ = thread_cpu_now();
+}
+
+sim_duration thread_cpu_profiler::stop() {
+  DBSM_CHECK(active_);
+  if (running_) accumulated_ += thread_cpu_now() - t0_;
+  active_ = false;
+  running_ = false;
+  return accumulated_;
+}
+
+sim_duration thread_cpu_profiler::elapsed() const {
+  if (active_ && running_) return accumulated_ + (thread_cpu_now() - t0_);
+  return accumulated_;
+}
+
+}  // namespace dbsm::csrt

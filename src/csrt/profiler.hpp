@@ -1,0 +1,49 @@
+// Profiling clock for real-code jobs (§2.3).
+//
+// The paper virtualizes CPU cycle counters (Linux perfctr) to time real
+// protocol code and stops the clock whenever the code re-enters the
+// simulation runtime (Fig 1b). `thread_cpu_profiler` reproduces this with
+// CLOCK_THREAD_CPUTIME_ID; pause()/resume() implement the clock-stop
+// technique.
+#ifndef DBSM_CSRT_PROFILER_HPP
+#define DBSM_CSRT_PROFILER_HPP
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace dbsm::csrt {
+
+/// Measures CPU time consumed by the current thread between start/stop,
+/// excluding paused intervals.
+class thread_cpu_profiler {
+ public:
+  /// Begins a measurement; resets the accumulator.
+  void start();
+
+  /// Stops the clock while simulation-runtime code runs (bridge calls).
+  void pause();
+
+  /// Restarts the clock when control returns to real code.
+  void resume();
+
+  /// Ends the measurement and returns total measured nanoseconds.
+  sim_duration stop();
+
+  /// Measured nanoseconds so far (callable while running or paused).
+  sim_duration elapsed() const;
+
+  bool running() const { return running_; }
+
+ private:
+  static std::int64_t thread_cpu_now();
+
+  std::int64_t t0_ = 0;
+  sim_duration accumulated_ = 0;
+  bool active_ = false;   // between start and stop
+  bool running_ = false;  // not paused
+};
+
+}  // namespace dbsm::csrt
+
+#endif  // DBSM_CSRT_PROFILER_HPP

@@ -1,0 +1,133 @@
+// env bridge into the simulation: SSF kernel + network model + simulated
+// CPU (§2.2/2.3). Implements the semantics of Fig 1:
+//   * a real-code job executes in zero simulated time, its duration Δ is
+//     measured (or charged by the deterministic cost model) and the CPU is
+//     held busy for Δ;
+//   * events scheduled and messages sent *from inside* real code are
+//     timestamped job_start + elapsed-so-far, and the profiling clock stops
+//     while bridge code runs (Fig 1b).
+#ifndef DBSM_CSRT_SIM_ENV_HPP
+#define DBSM_CSRT_SIM_ENV_HPP
+
+#include <unordered_set>
+#include <vector>
+
+#include "csrt/cpu.hpp"
+#include "csrt/env.hpp"
+#include "csrt/profiler.hpp"
+#include "sim/simulator.hpp"
+
+namespace dbsm::csrt {
+
+/// Transport used by sim_env to inject datagrams into the simulated
+/// network; implemented by the net module (udp adapter).
+class transport {
+ public:
+  virtual ~transport() = default;
+  virtual void send(node_id to, util::shared_bytes payload) = 0;
+  virtual void multicast(util::shared_bytes payload) = 0;
+  /// Number of distinct NIC transmissions one multicast costs the sender
+  /// (1 with IP multicast, |group|-1 with unicast fan-out).
+  virtual unsigned multicast_fanout() const = 0;
+  virtual std::size_t max_datagram() const = 0;
+};
+
+class sim_env final : public env {
+ public:
+  struct config {
+    node_id self = 0;
+    std::vector<node_id> peers;    // transport-level peer set, incl. self
+    net_cost_model costs;
+    /// Scale factor applied to *measured* durations: host-ns × scale →
+    /// simulated-ns (models a CPU `1/scale` times the host's speed).
+    double measured_scale = 1.0;
+    /// If true, time real code with the thread CPU clock; if false, rely
+    /// purely on charge() costs (deterministic).
+    bool measure_real_time = false;
+  };
+
+  sim_env(sim::simulator& sim, cpu_pool& cpu, transport& net, config cfg,
+          util::rng rng);
+
+  // --- env interface ---
+  node_id self() const override { return cfg_.self; }
+  const std::vector<node_id>& peers() const override { return cfg_.peers; }
+  sim_time now() override;
+  timer_id set_timer(sim_duration d, std::function<void()> fn) override;
+  bool cancel_timer(timer_id id) override;
+  void send(node_id to, util::shared_bytes msg) override;
+  void multicast(util::shared_bytes msg) override;
+  void charge(sim_duration cost) override;
+  void set_handler(msg_handler h) override;
+  void post(std::function<void()> fn) override;
+  util::rng& random() override { return rng_; }
+  std::size_t max_datagram() const override { return net_.max_datagram(); }
+
+  // --- simulation-side interface ---
+
+  /// Called by the network adapter when a datagram arrives at this node;
+  /// enqueues a real-code job that charges the receive cost and runs the
+  /// registered handler.
+  void deliver_datagram(node_id from, util::shared_bytes payload);
+
+  /// Runs `fn` at the current effective time as plain simulation code (used
+  /// to hand results from real code back to simulated components without
+  /// charging protocol CPU).
+  void call_out(std::function<void()> fn);
+
+  /// True while a real-code job of this env is executing.
+  bool in_job() const { return in_job_; }
+
+  // --- fault injection knobs (§5.3) ---
+
+  /// Clock drift: scheduled events are postponed by this factor (>1) and
+  /// measured/charged durations scaled down by its inverse.
+  void set_clock_drift(double rate);
+
+  /// Scheduling latency: a uniform random delay in [0, max] added to every
+  /// timer armed by real code.
+  void set_timer_jitter(sim_duration max) { timer_jitter_max_ = max; }
+
+  /// Total bytes handed to the transport (protocol egress accounting).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+  std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  std::uint64_t datagrams_received() const { return datagrams_received_; }
+
+ private:
+  friend class bridge_guard;
+
+  /// Submits a real-code job with an initial charged cost.
+  void post_job(sim_duration pre_charge, std::function<void()> fn);
+
+  /// Effective current time inside/outside jobs.
+  sim_time effective_now();
+
+  sim::simulator& sim_;
+  cpu_pool& cpu_;
+  transport& net_;
+  config cfg_;
+  util::rng rng_;
+  msg_handler handler_;
+
+  thread_cpu_profiler profiler_;
+  bool in_job_ = false;
+  sim_time job_start_ = 0;
+  sim_duration job_elapsed_ = 0;
+
+  timer_id next_timer_ = 1;
+  std::unordered_map<timer_id, sim::event_id> timers_;
+
+  double timer_scale_ = 1.0;      // clock drift: postpone factor
+  double charge_scale_ = 1.0;     // clock drift: duration shrink factor
+  sim_duration timer_jitter_max_ = 0;  // scheduling latency fault
+
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_received_ = 0;
+};
+
+}  // namespace dbsm::csrt
+
+#endif  // DBSM_CSRT_SIM_ENV_HPP

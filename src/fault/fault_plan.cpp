@@ -1,0 +1,28 @@
+#include "fault/fault_plan.hpp"
+
+#include "net/loss_model.hpp"
+#include "util/check.hpp"
+
+namespace dbsm::fault {
+
+void apply_loss(net::medium& net, node_id site, const plan& p) {
+  DBSM_CHECK_MSG(!(p.random_loss > 0 && p.bursty_loss > 0),
+                 "choose one loss model per run, as the paper does");
+  if (p.random_loss > 0) {
+    // Loss is injected independently at each participant (§5.3).
+    net.set_rx_loss(site, net::random_loss(p.random_loss));
+  } else if (p.bursty_loss > 0) {
+    net.set_rx_loss(site, net::bursty_loss(p.bursty_loss, p.burst_len));
+  }
+}
+
+void apply_timing(csrt::sim_env& env, unsigned site_index, const plan& p) {
+  if (p.clock_drift != 0 && (site_index % 2) == 1) {
+    env.set_clock_drift(p.clock_drift);
+  }
+  if (p.sched_latency_max > 0) {
+    env.set_timer_jitter(p.sched_latency_max);
+  }
+}
+
+}  // namespace dbsm::fault

@@ -1,0 +1,58 @@
+// Fault injection plans (§5.3). "Faults are injected by intercepting calls
+// in and out of the runtime as well as by manipulating model state."
+//
+// Five fault types, as in the paper:
+//   clock drift        — timers postponed, measured durations shrunk;
+//   scheduling latency — random delay added to events scheduled ahead;
+//   random loss        — per-message drop at reception;
+//   bursty loss        — alternating good/bad periods (congestion);
+//   crash              — node stops at a set time.
+//
+// The helpers below act on the injection points (network medium, env
+// bridge); the experiment harness applies them per site and schedules
+// crashes on the cluster.
+#ifndef DBSM_FAULT_FAULT_PLAN_HPP
+#define DBSM_FAULT_FAULT_PLAN_HPP
+
+#include <vector>
+
+#include "csrt/sim_env.hpp"
+#include "net/medium.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::fault {
+
+struct crash_spec {
+  unsigned site = 0;
+  sim_duration at = 0;
+};
+
+struct plan {
+  /// Random loss: each message dropped at reception with this probability.
+  double random_loss = 0.0;
+  /// Bursty loss: average loss rate / mean burst length (messages).
+  double bursty_loss = 0.0;
+  double burst_len = 5.0;
+  std::vector<crash_spec> crashes;
+  /// Clock drift rate, applied to odd-numbered sites so clocks drift
+  /// relative to each other.
+  double clock_drift = 0.0;
+  /// Scheduling latency: uniform random delay in [0, max] added to every
+  /// timer armed by protocol code, at all sites.
+  sim_duration sched_latency_max = 0;
+
+  bool any() const {
+    return random_loss > 0 || bursty_loss > 0 || !crashes.empty() ||
+           clock_drift != 0 || sched_latency_max > 0;
+  }
+};
+
+/// Installs the plan's loss model at one receiving host.
+void apply_loss(net::medium& net, node_id site, const plan& p);
+
+/// Installs the plan's timing faults on one site's env bridge.
+void apply_timing(csrt::sim_env& env, unsigned site_index, const plan& p);
+
+}  // namespace dbsm::fault
+
+#endif  // DBSM_FAULT_FAULT_PLAN_HPP

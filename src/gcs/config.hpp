@@ -1,0 +1,59 @@
+// Tunables of the group communication prototype (§3.4).
+#ifndef DBSM_GCS_CONFIG_HPP
+#define DBSM_GCS_CONFIG_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbsm::gcs {
+
+struct group_config {
+  /// Static initial membership (node ids on the transport).
+  std::vector<node_id> members;
+
+  /// Maximum payload carried by one DATA datagram; the prototype restricts
+  /// packets to a safe size well under the Ethernet MTU (§4.2).
+  std::size_t max_fragment = 1024;
+
+  // --- reliability (window-based, receiver-initiated; §3.4) ---
+  sim_duration nak_delay = milliseconds(8);     // gap age before first NAK
+  sim_duration nak_backoff_max = milliseconds(100);
+  std::size_t nak_batch = 64;                   // max seqs per NAK message
+
+  // --- buffering / window flow control ---
+  /// Total buffer space for unstable messages; each member may only use
+  /// its share (total / |members|) — the fairness rule whose exhaustion
+  /// the paper observes under random loss (§5.3). Accounted in message
+  /// slots (the dominant constraint for the sequencer, which multicasts
+  /// the most messages) with a byte total as a secondary cap.
+  std::size_t total_buffer_msgs = 120;
+  std::size_t total_buffer_bytes = 256 * 1024;
+
+  // --- rate-based flow control (dissemination phase) ---
+  double send_rate_bytes_per_s = 8e6;
+  std::size_t send_burst_bytes = 32 * 1024;
+
+  // --- stability detection (gossip rounds; §3.4) ---
+  sim_duration stability_period = milliseconds(40);
+
+  // --- failure detection / view synchrony ---
+  sim_duration heartbeat_period = milliseconds(20);
+  sim_duration suspect_timeout = milliseconds(300);
+  sim_duration view_change_retry = milliseconds(500);
+
+  // --- total order (fixed sequencer) ---
+  /// Assignments accumulated before the sequencer flushes a SEQ message
+  /// (a timer flushes earlier ones).
+  std::size_t sequencer_batch = 16;
+  sim_duration sequencer_flush = microseconds(500);
+
+  /// Deterministic CPU cost charged per handled datagram when real
+  /// measurement is off (base protocol processing).
+  sim_duration handler_cpu_cost = microseconds(3);
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_CONFIG_HPP

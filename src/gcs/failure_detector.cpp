@@ -1,0 +1,37 @@
+#include "gcs/failure_detector.hpp"
+
+namespace dbsm::gcs {
+
+failure_detector::failure_detector(std::vector<node_id> members, node_id self,
+                                   sim_duration timeout, sim_time now)
+    : self_(self), timeout_(timeout) {
+  reset(std::move(members), now);
+}
+
+void failure_detector::reset(std::vector<node_id> members, sim_time now) {
+  last_heard_.clear();
+  for (node_id m : members) last_heard_[m] = now;
+}
+
+void failure_detector::heard_from(node_id n, sim_time now) {
+  auto it = last_heard_.find(n);
+  if (it != last_heard_.end() && now > it->second) it->second = now;
+}
+
+std::vector<node_id> failure_detector::suspects(sim_time now) const {
+  std::vector<node_id> out;
+  for (const auto& [n, t] : last_heard_) {
+    if (n == self_) continue;
+    if (now - t > timeout_) out.push_back(n);
+  }
+  return out;
+}
+
+bool failure_detector::is_suspect(node_id n, sim_time now) const {
+  if (n == self_) return false;
+  auto it = last_heard_.find(n);
+  if (it == last_heard_.end()) return false;
+  return now - it->second > timeout_;
+}
+
+}  // namespace dbsm::gcs

@@ -1,0 +1,36 @@
+// Heartbeat failure detector driving view changes.
+#ifndef DBSM_GCS_FAILURE_DETECTOR_HPP
+#define DBSM_GCS_FAILURE_DETECTOR_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbsm::gcs {
+
+class failure_detector {
+ public:
+  failure_detector(std::vector<node_id> members, node_id self,
+                   sim_duration timeout, sim_time now);
+
+  /// Any protocol traffic from a member counts as a liveness proof.
+  void heard_from(node_id n, sim_time now);
+
+  /// Members not heard from within the timeout.
+  std::vector<node_id> suspects(sim_time now) const;
+
+  bool is_suspect(node_id n, sim_time now) const;
+
+  /// Re-seeds after a view change.
+  void reset(std::vector<node_id> members, sim_time now);
+
+ private:
+  node_id self_;
+  sim_duration timeout_;
+  std::unordered_map<node_id, sim_time> last_heard_;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_FAILURE_DETECTOR_HPP

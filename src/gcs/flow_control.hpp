@@ -1,0 +1,95 @@
+// Flow control (§3.4): "a combination of a rate-based mechanism during the
+// first phase and the window-based mechanism during the second phase".
+//
+//   * token_bucket  — rate-based pacing of datagram transmission;
+//   * buffer_quota  — each sender's share of the group's total buffer for
+//     unstable messages; a full share blocks further transmission until
+//     stability detection garbage-collects (§5.3's blocking mechanism).
+#ifndef DBSM_GCS_FLOW_CONTROL_HPP
+#define DBSM_GCS_FLOW_CONTROL_HPP
+
+#include <cstddef>
+
+#include "util/check.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::gcs {
+
+class token_bucket {
+ public:
+  token_bucket(double rate_bytes_per_s, std::size_t burst_bytes)
+      : rate_(rate_bytes_per_s), burst_(static_cast<double>(burst_bytes)),
+        tokens_(static_cast<double>(burst_bytes)) {
+    DBSM_CHECK(rate_bytes_per_s > 0);
+    DBSM_CHECK(burst_bytes > 0);
+  }
+
+  /// Consumes `bytes` if available now; returns success.
+  bool try_consume(sim_time now, std::size_t bytes) {
+    refill(now);
+    if (tokens_ >= static_cast<double>(bytes)) {
+      tokens_ -= static_cast<double>(bytes);
+      return true;
+    }
+    return false;
+  }
+
+  /// Time until `bytes` tokens will be available (0 if available now).
+  sim_duration wait_time(sim_time now, std::size_t bytes) {
+    refill(now);
+    const double deficit = static_cast<double>(bytes) - tokens_;
+    if (deficit <= 0) return 0;
+    return static_cast<sim_duration>(deficit / rate_ * 1e9) + 1;
+  }
+
+ private:
+  void refill(sim_time now) {
+    if (now <= last_) return;
+    tokens_ += rate_ * to_seconds(now - last_);
+    if (tokens_ > burst_) tokens_ = burst_;
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim_time last_ = 0;
+};
+
+class buffer_quota {
+ public:
+  buffer_quota(std::size_t share_msgs, std::size_t share_bytes)
+      : share_msgs_(share_msgs), share_bytes_(share_bytes) {
+    DBSM_CHECK(share_msgs > 0);
+    DBSM_CHECK(share_bytes > 0);
+  }
+
+  bool fits(std::size_t bytes) const {
+    return used_msgs_ + 1 <= share_msgs_ &&
+           used_bytes_ + bytes <= share_bytes_;
+  }
+  void add(std::size_t bytes) {
+    ++used_msgs_;
+    used_bytes_ += bytes;
+  }
+  void remove(std::size_t bytes) {
+    DBSM_CHECK_MSG(used_msgs_ >= 1 && used_bytes_ >= bytes,
+                   "quota underflow");
+    --used_msgs_;
+    used_bytes_ -= bytes;
+  }
+  std::size_t used() const { return used_bytes_; }
+  std::size_t used_msgs() const { return used_msgs_; }
+  std::size_t share_msgs() const { return share_msgs_; }
+  std::size_t share_bytes() const { return share_bytes_; }
+
+ private:
+  std::size_t share_msgs_;
+  std::size_t share_bytes_;
+  std::size_t used_msgs_ = 0;
+  std::size_t used_bytes_ = 0;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_FLOW_CONTROL_HPP

@@ -1,0 +1,247 @@
+#include "gcs/group.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace dbsm::gcs {
+
+group::group(csrt::env& env, group_config cfg)
+    : env_(env), cfg_(std::move(cfg)) {
+  DBSM_CHECK(!cfg_.members.empty());
+  std::sort(cfg_.members.begin(), cfg_.members.end());
+  DBSM_CHECK_MSG(cfg_.max_fragment + 64 <= env_.max_datagram(),
+                 "fragment size too large for the transport");
+
+  view initial;
+  initial.id = 1;
+  initial.members = cfg_.members;
+
+  rmcast_ = std::make_unique<reliable_mcast>(env_, cfg_, cfg_.members);
+  order_ = std::make_unique<total_order>(env_, cfg_);
+  stability_ = std::make_unique<stability_tracker>(cfg_.members, env_.self());
+  fd_ = std::make_unique<failure_detector>(cfg_.members, env_.self(),
+                                           cfg_.suspect_timeout, env_.now());
+
+  membership::hooks h;
+  h.stop_sends = [this] { rmcast_->stop_sending(); };
+  h.get_prefixes = [this] { return rmcast_->prefixes(); };
+  h.ensure_cut = [this](std::vector<std::uint64_t> cut,
+                        std::vector<node_id> sources,
+                        std::function<void()> done) {
+    rmcast_->ensure_up_to(std::move(cut), std::move(sources),
+                          std::move(done));
+  };
+  h.cancel_flush = [this] { rmcast_->cancel_flush(); };
+  h.install = [this](const view& v, const std::vector<node_id>& old_members,
+                     const std::vector<std::uint64_t>& cut) {
+    do_install(v, old_members, cut);
+  };
+  h.send = [this](node_id to, util::shared_bytes raw) { send_ctl(to, raw); };
+  h.mcast = [this](util::shared_bytes raw) { mcast_ctl(raw); };
+  membership_ =
+      std::make_unique<membership>(env_, cfg_, initial, std::move(h));
+
+  rmcast_->set_view_id(initial.id);
+  rmcast_->set_app_handler([this](node_id sender, std::uint64_t app_seq,
+                                  util::shared_bytes payload,
+                                  std::uint64_t last_dgram) {
+    on_app_msg(sender, app_seq, std::move(payload), last_dgram);
+  });
+  order_->set_deliver([this](node_id sender, std::uint64_t seq,
+                             util::shared_bytes payload) {
+    // Strip the kind byte; hand the user payload up.
+    auto user = std::make_shared<util::bytes>(payload->begin() + 1,
+                                              payload->end());
+    if (deliver_) deliver_(sender, seq, std::move(user));
+  });
+  order_->set_send_assignments([this](util::shared_bytes batch) {
+    rmcast_->broadcast(wrap(kind_assignments, batch));
+  });
+  order_->set_sequencer(initial.sequencer());
+}
+
+group::~group() { stopped_ = true; }
+
+util::shared_bytes group::wrap(std::uint8_t kind,
+                               const util::shared_bytes& payload) {
+  util::buffer_writer w(1 + payload->size());
+  w.put_u8(kind);
+  w.put_bytes(payload->data(), payload->size());
+  return w.take();
+}
+
+void group::start() {
+  DBSM_CHECK(!started_);
+  started_ = true;
+  env_.set_handler([this](node_id from, util::shared_bytes raw) {
+    dispatch(from, std::move(raw));
+  });
+  env_.post([this] {
+    stability_tick();
+    heartbeat_tick();
+  });
+}
+
+void group::submit(util::shared_bytes payload) {
+  env_.post([this, payload = std::move(payload)]() mutable {
+    broadcast(std::move(payload));
+  });
+}
+
+void group::broadcast(util::shared_bytes payload) {
+  DBSM_CHECK(payload != nullptr);
+  rmcast_->broadcast(wrap(kind_user, payload));
+}
+
+void group::on_app_msg(node_id sender, std::uint64_t app_seq,
+                       util::shared_bytes payload, std::uint64_t last_dgram) {
+  DBSM_CHECK(!payload->empty());
+  const std::uint8_t kind = (*payload)[0];
+  switch (kind) {
+    case kind_user:
+      order_->on_user_msg(sender, app_seq, std::move(payload), last_dgram);
+      break;
+    case kind_assignments: {
+      auto body = std::make_shared<util::bytes>(payload->begin() + 1,
+                                                payload->end());
+      order_->on_assignments(body);
+      break;
+    }
+    default:
+      DBSM_CHECK_MSG(false, "unknown app message kind "
+                                << static_cast<int>(kind));
+  }
+}
+
+void group::dispatch(node_id from, util::shared_bytes raw) {
+  if (stopped_ || raw->size() < 9) return;
+  env_.charge(cfg_.handler_cpu_cost);
+  const header hdr = decode_header(raw);
+  fd_->heard_from(hdr.sender, env_.now());
+  switch (hdr.type) {
+    case msg_type::data: {
+      const data_msg m = decode_data(raw);
+      rmcast_->on_data(m, raw);
+      break;
+    }
+    case msg_type::nak:
+      rmcast_->on_nak(decode_nak(raw));
+      break;
+    case msg_type::stab: {
+      const stab_msg m = decode_stab(raw);
+      // Only merge gossip from the same view (vector layout must match).
+      if (m.hdr.view_id == membership_->current().id &&
+          m.stable.size() == stability_->members().size()) {
+        if (stability_->merge(m))
+          rmcast_->collect_garbage(stability_->stable());
+      }
+      break;
+    }
+    case msg_type::heartbeat:
+      break;  // liveness already recorded
+    case msg_type::view_propose:
+      membership_->on_propose(decode_view_propose(raw));
+      break;
+    case msg_type::view_state:
+      membership_->on_state(decode_view_state(raw));
+      break;
+    case msg_type::view_cut:
+      membership_->on_cut(decode_view_cut(raw));
+      break;
+    case msg_type::view_flush_ok:
+      membership_->on_flush_ok(decode_view_flush_ok(raw));
+      break;
+    case msg_type::view_install:
+      membership_->on_install(decode_view_install(raw));
+      break;
+  }
+  (void)from;
+}
+
+void group::stability_tick() {
+  if (stopped_) return;
+  stability_->set_local_prefixes(rmcast_->prefixes());
+  const stab_msg gossip =
+      stability_->make_gossip(membership_->current().id);
+  env_.multicast(encode(gossip));
+  env_.set_timer(cfg_.stability_period, [this] { stability_tick(); });
+}
+
+void group::heartbeat_tick() {
+  if (stopped_) return;
+  heartbeat_msg hb;
+  hb.hdr = {msg_type::heartbeat, membership_->current().id, env_.self()};
+  env_.multicast(encode(hb));
+  // Failure detection shares the heartbeat cadence.
+  for (node_id s : fd_->suspects(env_.now())) membership_->suspect(s);
+  env_.set_timer(cfg_.heartbeat_period, [this] { heartbeat_tick(); });
+}
+
+void group::send_ctl(node_id to, util::shared_bytes raw) {
+  if (to == env_.self()) {
+    dispatch(to, std::move(raw));
+    return;
+  }
+  env_.send(to, std::move(raw));
+}
+
+void group::mcast_ctl(util::shared_bytes raw) {
+  env_.multicast(raw);
+  dispatch(env_.self(), std::move(raw));  // self-delivery of control plane
+}
+
+void group::do_install(const view& v,
+                       const std::vector<node_id>& old_members,
+                       const std::vector<std::uint64_t>& cut) {
+  // Truncate reliable-multicast state of failed senders.
+  rmcast_->install_view(v.members);
+  rmcast_->set_view_id(v.id);
+
+  // Deterministic delivery of the flushed backlog, then the new sequencer.
+  order_->install_view(old_members, cut, v.members);
+  order_->set_sequencer(v.sequencer());
+
+  // Everything up to the cut is at every survivor: it is stable by
+  // definition of the flush. Seed the new stability tracker with it.
+  std::vector<std::uint64_t> stable_init(v.members.size(), 0);
+  for (std::size_t i = 0; i < v.members.size(); ++i) {
+    const auto it =
+        std::find(old_members.begin(), old_members.end(), v.members[i]);
+    if (it != old_members.end())
+      stable_init[i] = cut[static_cast<std::size_t>(it - old_members.begin())];
+  }
+  stability_ = std::make_unique<stability_tracker>(v.members, env_.self(),
+                                                   stable_init);
+  rmcast_->collect_garbage(stable_init);
+  fd_->reset(v.members, env_.now());
+  rmcast_->resume_sending();
+  if (view_cb_) view_cb_(v);
+}
+
+const view& group::current_view() const { return membership_->current(); }
+
+bool group::am_sequencer() const {
+  return current_view().sequencer() == env_.self();
+}
+
+const reliable_mcast::stats& group::rmcast_stats() const {
+  return rmcast_->get_stats();
+}
+
+std::uint64_t group::stability_rounds() const {
+  return stability_->rounds_completed();
+}
+
+std::uint64_t group::view_changes() const {
+  return membership_->view_changes();
+}
+
+std::uint64_t group::delivered_count() const { return order_->delivered(); }
+
+std::size_t group::quota_used() const { return rmcast_->quota_used(); }
+
+bool group::send_blocked() const { return rmcast_->blocked(); }
+
+}  // namespace dbsm::gcs

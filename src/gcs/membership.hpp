@@ -1,0 +1,104 @@
+// View-synchronous membership (§3.4): crash detection triggers a
+// coordinator-driven view change — a simple consensus in the style the
+// paper cites (Schiper & Sandoz): propose, collect flush states, agree on
+// a delivery cut, flush, install. "View synchrony uses a consensus
+// protocol and imposes a negligible overhead during stable operation."
+//
+// The protocol tolerates lost control messages (periodic retry with fresh
+// view ids) and coordinator crashes (takeover by the next lowest id).
+// Membership only ever shrinks (crash-stop; recovery is out of scope, as
+// in the paper's experiments).
+#ifndef DBSM_GCS_MEMBERSHIP_HPP
+#define DBSM_GCS_MEMBERSHIP_HPP
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "csrt/env.hpp"
+#include "gcs/config.hpp"
+#include "gcs/view.hpp"
+#include "gcs/wire.hpp"
+
+namespace dbsm::gcs {
+
+class membership {
+ public:
+  struct hooks {
+    /// Pause new application sends (reliability keeps running).
+    std::function<void()> stop_sends;
+    /// Per-sender contiguous receive prefixes, aligned with the current
+    /// (old) view's member list.
+    std::function<std::vector<std::uint64_t>()> get_prefixes;
+    /// Recover every stream up to `cut` (requesting from `sources`); call
+    /// `done` when reached.
+    std::function<void(std::vector<std::uint64_t> cut,
+                       std::vector<node_id> sources,
+                       std::function<void()> done)>
+        ensure_cut;
+    std::function<void()> cancel_flush;
+    /// Install the agreed view; `cut` is aligned with `old_members`.
+    std::function<void(const view& v,
+                       const std::vector<node_id>& old_members,
+                       const std::vector<std::uint64_t>& cut)>
+        install;
+    /// Control-plane messaging (self-delivery handled by the caller).
+    std::function<void(node_id, util::shared_bytes)> send;
+    std::function<void(util::shared_bytes)> mcast;
+  };
+
+  membership(csrt::env& env, const group_config& cfg, view initial,
+             hooks h);
+
+  /// Failure-detector input; triggers / widens a view change.
+  void suspect(node_id n);
+
+  bool changing() const { return changing_; }
+  const view& current() const { return current_; }
+  std::uint64_t view_changes() const { return view_changes_; }
+
+  // Control-message dispatch (from the group facade).
+  void on_propose(const view_propose_msg& m);
+  void on_state(const view_state_msg& m);
+  void on_cut(const view_cut_msg& m);
+  void on_flush_ok(const view_flush_ok_msg& m);
+  void on_install(const view_install_msg& m);
+
+ private:
+  std::vector<node_id> alive_members() const;
+  void start_change();
+  void propose();
+  void maybe_send_cut();
+  void maybe_install();
+  void arm_retry();
+  void retry_fire();
+  void finish_install(const view_install_msg& m);
+
+  csrt::env& env_;
+  const group_config& cfg_;
+  hooks hooks_;
+
+  view current_;
+  std::set<node_id> suspected_;
+  std::uint64_t view_changes_ = 0;
+
+  // Change-in-progress state (member role).
+  bool changing_ = false;
+  std::uint32_t pending_view_ = 0;
+  std::vector<node_id> pending_members_;
+  node_id coordinator_ = invalid_node;
+  bool member_flush_done_ = false;
+  csrt::timer_id retry_timer_ = 0;
+
+  // Coordinator role state.
+  std::map<node_id, std::vector<std::uint64_t>> states_;
+  std::set<node_id> flush_oks_;
+  std::vector<std::uint64_t> cut_;
+  std::vector<node_id> sources_;
+  bool cut_sent_ = false;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_MEMBERSHIP_HPP

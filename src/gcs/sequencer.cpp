@@ -1,0 +1,197 @@
+#include "gcs/sequencer.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dbsm::gcs {
+
+util::shared_bytes encode_assignments(const std::vector<assignment>& as) {
+  util::buffer_writer w(4 + 20 * as.size());
+  w.put_u16(static_cast<std::uint16_t>(as.size()));
+  for (const assignment& a : as) {
+    w.put_u32(a.sender);
+    w.put_u64(a.app_seq);
+    w.put_u64(a.global_seq);
+  }
+  return w.take();
+}
+
+std::vector<assignment> decode_assignments(const util::shared_bytes& raw) {
+  util::buffer_reader r(raw);
+  const std::uint16_t n = r.get_u16();
+  std::vector<assignment> out;
+  out.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    assignment a;
+    a.sender = r.get_u32();
+    a.app_seq = r.get_u64();
+    a.global_seq = r.get_u64();
+    out.push_back(a);
+  }
+  return out;
+}
+
+total_order::total_order(csrt::env& env, const group_config& cfg)
+    : env_(env), cfg_(cfg) {}
+
+void total_order::set_sequencer(node_id sequencer) {
+  sequencer_ = sequencer;
+  const bool was = am_sequencer_;
+  am_sequencer_ = sequencer == env_.self();
+  if (am_sequencer_ && !was) {
+    // Assign everything already complete but unordered, deterministically.
+    for (const auto& [key, msg] : complete_) {
+      if (!assigned_.count(key)) maybe_assign(key.first, key.second);
+    }
+    flush_batch();
+  }
+}
+
+void total_order::maybe_assign(node_id sender, std::uint64_t app_seq) {
+  const msg_key key{sender, app_seq};
+  if (assigned_.count(key)) return;
+  assignment a;
+  a.sender = sender;
+  a.app_seq = app_seq;
+  a.global_seq = next_assign_++;
+  batch_.push_back(a);
+  assigned_.insert(key);
+  // Note: the assignment takes effect only when the batch returns through
+  // the sequencer's own reliable stream (self-delivery) — everyone,
+  // including the sequencer, orders from wire-visible assignments, which
+  // keeps view-change flushes consistent.
+  if (batch_.size() >= cfg_.sequencer_batch) {
+    flush_batch();
+  } else if (batch_timer_ == 0) {
+    batch_timer_ = env_.set_timer(cfg_.sequencer_flush, [this] {
+      batch_timer_ = 0;
+      flush_batch();
+    });
+  }
+}
+
+void total_order::flush_batch() {
+  if (batch_.empty()) return;
+  if (batch_timer_ != 0) {
+    env_.cancel_timer(batch_timer_);
+    batch_timer_ = 0;
+  }
+  std::vector<assignment> batch;
+  batch.swap(batch_);
+  if (send_assignments_) send_assignments_(encode_assignments(batch));
+}
+
+void total_order::on_user_msg(node_id sender, std::uint64_t app_seq,
+                              util::shared_bytes payload,
+                              std::uint64_t last_dgram) {
+  const msg_key key{sender, app_seq};
+  complete_.emplace(key, pending_msg{std::move(payload), last_dgram});
+  if (am_sequencer_) maybe_assign(sender, app_seq);
+  try_deliver();
+}
+
+void total_order::on_assignments(const util::shared_bytes& batch) {
+  for (const assignment& a : decode_assignments(batch)) {
+    const msg_key key{a.sender, a.app_seq};
+    order_.emplace(a.global_seq, key);
+    assigned_.insert(key);
+    if (a.global_seq >= next_assign_) next_assign_ = a.global_seq + 1;
+  }
+  try_deliver();
+}
+
+void total_order::try_deliver() {
+  auto it = order_.find(next_deliver_);
+  while (it != order_.end()) {
+    auto mit = complete_.find(it->second);
+    if (mit == complete_.end()) return;  // payload not yet received
+    const msg_key key = it->second;
+    pending_msg msg = std::move(mit->second);
+    complete_.erase(mit);
+    order_.erase(it);
+    assigned_.erase(key);
+    const std::uint64_t seq = next_deliver_++;
+    if (deliver_) deliver_(key.first, seq, std::move(msg.payload));
+    it = order_.find(next_deliver_);
+  }
+}
+
+void total_order::install_view(const std::vector<node_id>& old_members,
+                               const std::vector<std::uint64_t>& cut,
+                               const std::vector<node_id>& new_members) {
+  DBSM_CHECK(old_members.size() == cut.size());
+  // Roll back assignments still sitting in the unflushed batch: they never
+  // reached the wire, so no survivor (this node included) acted on them.
+  for (const assignment& a : batch_) {
+    assigned_.erase(msg_key{a.sender, a.app_seq});
+  }
+  batch_.clear();
+  auto cut_of = [&](node_id n) -> std::uint64_t {
+    const auto it = std::find(old_members.begin(), old_members.end(), n);
+    if (it == old_members.end()) return 0;
+    return cut[static_cast<std::size_t>(it - old_members.begin())];
+  };
+  auto survives = [&](node_id n) {
+    return std::binary_search(new_members.begin(), new_members.end(), n);
+  };
+
+  // 1. Drop messages of failed senders beyond the cut (no survivor holds
+  //    their remaining fragments).
+  for (auto it = complete_.begin(); it != complete_.end();) {
+    const node_id sender = it->first.first;
+    if (!survives(sender) && it->second.last_dgram > cut_of(sender)) {
+      assigned_.erase(it->first);
+      it = complete_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // 2. Walk the assignment sequence; deliver what survives, skip orphaned
+  //    assignments. Every survivor has the same state, so this is
+  //    deterministic and identical group-wide.
+  std::uint64_t last_assigned = next_assign_ - 1;
+  for (auto it = order_.begin(); it != order_.end();) {
+    auto mit = complete_.find(it->second);
+    if (mit != complete_.end()) {
+      pending_msg msg = std::move(mit->second);
+      const msg_key key = it->second;
+      complete_.erase(mit);
+      assigned_.erase(key);
+      last_assigned = std::max(last_assigned, it->first);
+      it = order_.erase(it);
+      const std::uint64_t seq = next_deliver_++;
+      if (deliver_) deliver_(key.first, seq, std::move(msg.payload));
+    } else {
+      // Orphan: assigned by a crashed sequencer to a message nobody holds.
+      last_assigned = std::max(last_assigned, it->first);
+      assigned_.erase(it->second);
+      it = order_.erase(it);
+    }
+  }
+
+  // 3. Deliver remaining complete-but-unassigned messages within the cut
+  //    in deterministic (sender, app_seq) order.
+  for (auto it = complete_.begin(); it != complete_.end();) {
+    if (it->second.last_dgram <= cut_of(it->first.first)) {
+      const msg_key key = it->first;
+      pending_msg msg = std::move(it->second);
+      it = complete_.erase(it);
+      const std::uint64_t seq = next_deliver_++;
+      if (deliver_) deliver_(key.first, seq, std::move(msg.payload));
+    } else {
+      ++it;
+    }
+  }
+
+  // Renumber: the new sequencer continues after everything delivered.
+  next_assign_ = std::max(last_assigned + 1, next_deliver_);
+  batch_.clear();
+  if (batch_timer_ != 0) {
+    env_.cancel_timer(batch_timer_);
+    batch_timer_ = 0;
+  }
+}
+
+}  // namespace dbsm::gcs

@@ -1,0 +1,113 @@
+// Total order via fixed sequencer (§3.4): "one of the sites issues
+// sequence numbers for messages. Other sites buffer and deliver messages
+// according to the sequence numbers. View synchrony ensures that a single
+// sequencer site is easily chosen and replaced when it fails."
+//
+// The sequencer assigns a global sequence number to every complete
+// application message it receives (its own included) and disseminates the
+// assignments — batched — through its own reliable multicast stream, so
+// ordering information is itself reliable and flow-controlled. This makes
+// the sequencer multicast far more than anyone else, which is precisely the
+// §5.3 bottleneck the paper diagnoses.
+#ifndef DBSM_GCS_SEQUENCER_HPP
+#define DBSM_GCS_SEQUENCER_HPP
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "csrt/env.hpp"
+#include "gcs/config.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace dbsm::gcs {
+
+/// One total-order assignment: (sender, app_seq) -> global sequence.
+struct assignment {
+  node_id sender = 0;
+  std::uint64_t app_seq = 0;
+  std::uint64_t global_seq = 0;
+};
+
+util::shared_bytes encode_assignments(const std::vector<assignment>& as);
+std::vector<assignment> decode_assignments(const util::shared_bytes& raw);
+
+class total_order {
+ public:
+  /// Final, totally ordered delivery to the application.
+  using deliver_fn = std::function<void(node_id sender,
+                                        std::uint64_t global_seq,
+                                        util::shared_bytes payload)>;
+  /// Used by the sequencer to disseminate assignment batches (wired to the
+  /// group facade, which wraps and reliably multicasts them).
+  using send_assignments_fn =
+      std::function<void(util::shared_bytes batch)>;
+
+  total_order(csrt::env& env, const group_config& cfg);
+
+  void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
+  void set_send_assignments(send_assignments_fn fn) {
+    send_assignments_ = std::move(fn);
+  }
+
+  /// Updates the sequencer role (at start and at every view change).
+  void set_sequencer(node_id sequencer);
+
+  /// Complete application message from the reliable layer (user payload).
+  void on_user_msg(node_id sender, std::uint64_t app_seq,
+                   util::shared_bytes payload, std::uint64_t last_dgram);
+
+  /// Assignment batch from the reliable layer.
+  void on_assignments(const util::shared_bytes& batch);
+
+  /// View change: removes state of failed senders beyond the cut and
+  /// deterministically delivers what remains (identically at every
+  /// survivor — they flushed to the same state):
+  ///   1. assignments whose payload survives are delivered in order;
+  ///   2. assignments whose payload is gone (assigned by a crashed
+  ///      sequencer to a message nobody holds) are skipped;
+  ///   3. complete unassigned messages within the cut are delivered in
+  ///      (sender, app_seq) order.
+  /// `cut` and `old_members` describe the flushed state.
+  void install_view(const std::vector<node_id>& old_members,
+                    const std::vector<std::uint64_t>& cut,
+                    const std::vector<node_id>& new_members);
+
+  std::uint64_t delivered() const { return next_deliver_ - 1; }
+  std::size_t pending_unordered() const { return complete_.size(); }
+  std::size_t pending_assignments() const { return order_.size(); }
+
+ private:
+  using msg_key = std::pair<node_id, std::uint64_t>;
+
+  struct pending_msg {
+    util::shared_bytes payload;
+    std::uint64_t last_dgram = 0;
+  };
+
+  void try_deliver();
+  void flush_batch();
+  void maybe_assign(node_id sender, std::uint64_t app_seq);
+
+  csrt::env& env_;
+  const group_config cfg_;
+  deliver_fn deliver_;
+  send_assignments_fn send_assignments_;
+
+  node_id sequencer_ = invalid_node;
+  bool am_sequencer_ = false;
+
+  std::map<msg_key, pending_msg> complete_;       // received, not delivered
+  std::map<std::uint64_t, msg_key> order_;        // global -> key
+  std::set<msg_key> assigned_;                    // keys with an order
+  std::uint64_t next_deliver_ = 1;
+  std::uint64_t next_assign_ = 1;
+
+  std::vector<assignment> batch_;
+  csrt::timer_id batch_timer_ = 0;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_SEQUENCER_HPP

@@ -1,0 +1,68 @@
+// Scalable stability detection (§3.4), after Guo's gossip scheme.
+//
+// Works in asynchronous rounds. Each process gossips:
+//   S — per-sender sequence numbers known stable (received by everyone),
+//   W — the set of processes that voted in the current round,
+//   M — per-sender minimum of the *contiguously received* prefixes over
+//       the voters of the round.
+// When W covers all operational processes, S advances to M and a new round
+// starts. Only contiguous prefixes enter M — the property that makes
+// garbage collection collapse under independent random loss (§5.3).
+//
+// Pure state machine: the group drives it from timers and feeds it
+// received gossip; it never touches the env directly (unit-testable).
+#ifndef DBSM_GCS_STABILITY_HPP
+#define DBSM_GCS_STABILITY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "gcs/wire.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::gcs {
+
+class stability_tracker {
+ public:
+  /// `members` sorted; `initial_stable` empty or aligned with members.
+  stability_tracker(std::vector<node_id> members, node_id self,
+                    std::vector<std::uint64_t> initial_stable = {});
+
+  /// Updates this process's contiguously-received prefix per sender
+  /// (own stream: highest assigned sequence number).
+  void set_local_prefixes(std::vector<std::uint64_t> prefixes);
+
+  /// Incorporates a peer's gossip. Returns true if S advanced.
+  bool merge(const stab_msg& m);
+
+  /// Produces this process's gossip for the current round (voting first).
+  stab_msg make_gossip(std::uint32_t view_id) const;
+
+  /// Per-sender stable prefix (aligned with the member list).
+  const std::vector<std::uint64_t>& stable() const { return stable_; }
+
+  std::uint32_t round() const { return round_; }
+  std::uint64_t rounds_completed() const { return completed_; }
+  const std::vector<node_id>& members() const { return members_; }
+
+ private:
+  void vote();
+  /// Completes the round if every member voted; returns true if S advanced.
+  bool try_complete();
+
+  std::vector<node_id> members_;
+  node_id self_;
+  std::size_t self_index_ = 0;
+  std::uint32_t all_voted_mask_ = 0;
+
+  std::vector<std::uint64_t> stable_;      // S
+  std::vector<std::uint64_t> min_recv_;    // M (current round)
+  std::uint32_t voters_ = 0;               // W (current round)
+  std::uint32_t round_ = 0;
+  std::vector<std::uint64_t> local_prefix_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_STABILITY_HPP

@@ -1,0 +1,33 @@
+// Group views (view-synchronous membership).
+#ifndef DBSM_GCS_VIEW_HPP
+#define DBSM_GCS_VIEW_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dbsm::gcs {
+
+struct view {
+  std::uint32_t id = 0;
+  std::vector<node_id> members;  // sorted
+
+  bool contains(node_id n) const {
+    return std::binary_search(members.begin(), members.end(), n);
+  }
+
+  /// Fixed sequencer: the lowest-id member of the view (§3.4 — "view
+  /// synchrony ensures that a single sequencer site is easily chosen and
+  /// replaced when it fails").
+  node_id sequencer() const {
+    return members.empty() ? invalid_node : members.front();
+  }
+
+  bool operator==(const view& other) const = default;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_VIEW_HPP

@@ -1,0 +1,221 @@
+#include "gcs/wire.hpp"
+
+#include "util/check.hpp"
+
+namespace dbsm::gcs {
+
+namespace {
+
+void put_header(util::buffer_writer& w, const header& h) {
+  w.put_u8(static_cast<std::uint8_t>(h.type));
+  w.put_u32(h.view_id);
+  w.put_u32(h.sender);
+}
+
+header get_header(util::buffer_reader& r) {
+  header h;
+  h.type = static_cast<msg_type>(r.get_u8());
+  h.view_id = r.get_u32();
+  h.sender = r.get_u32();
+  return h;
+}
+
+void put_u64_vec(util::buffer_writer& w, const std::vector<std::uint64_t>& v) {
+  w.put_u16(static_cast<std::uint16_t>(v.size()));
+  for (std::uint64_t x : v) w.put_u64(x);
+}
+
+std::vector<std::uint64_t> get_u64_vec(util::buffer_reader& r) {
+  const std::uint16_t n = r.get_u16();
+  std::vector<std::uint64_t> v;
+  v.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) v.push_back(r.get_u64());
+  return v;
+}
+
+void put_node_vec(util::buffer_writer& w, const std::vector<node_id>& v) {
+  w.put_u16(static_cast<std::uint16_t>(v.size()));
+  for (node_id x : v) w.put_u32(x);
+}
+
+std::vector<node_id> get_node_vec(util::buffer_reader& r) {
+  const std::uint16_t n = r.get_u16();
+  std::vector<node_id> v;
+  v.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) v.push_back(r.get_u32());
+  return v;
+}
+
+util::buffer_reader open(const util::shared_bytes& raw, msg_type expect,
+                         header& h) {
+  util::buffer_reader r(raw);
+  h = get_header(r);
+  DBSM_CHECK_MSG(h.type == expect,
+                 "wire type mismatch: got " << static_cast<int>(h.type));
+  return r;
+}
+
+}  // namespace
+
+util::shared_bytes encode(const data_msg& m) {
+  DBSM_CHECK(m.payload != nullptr);
+  util::buffer_writer w(32 + m.payload->size());
+  put_header(w, m.hdr);
+  w.put_u64(m.dgram_seq);
+  w.put_u64(m.app_seq);
+  w.put_u16(m.frag_idx);
+  w.put_u16(m.frag_cnt);
+  w.put_u32(static_cast<std::uint32_t>(m.payload->size()));
+  w.put_bytes(m.payload->data(), m.payload->size());
+  return w.take();
+}
+
+data_msg decode_data(const util::shared_bytes& raw) {
+  data_msg m;
+  auto r = open(raw, msg_type::data, m.hdr);
+  m.dgram_seq = r.get_u64();
+  m.app_seq = r.get_u64();
+  m.frag_idx = r.get_u16();
+  m.frag_cnt = r.get_u16();
+  const std::uint32_t len = r.get_u32();
+  auto payload = std::make_shared<util::bytes>(len);
+  r.get_bytes(payload->data(), len);
+  m.payload = std::move(payload);
+  return m;
+}
+
+util::shared_bytes encode(const nak_msg& m) {
+  util::buffer_writer w(16 + 8 * m.missing.size());
+  put_header(w, m.hdr);
+  w.put_u32(m.target_sender);
+  put_u64_vec(w, m.missing);
+  return w.take();
+}
+
+nak_msg decode_nak(const util::shared_bytes& raw) {
+  nak_msg m;
+  auto r = open(raw, msg_type::nak, m.hdr);
+  m.target_sender = r.get_u32();
+  m.missing = get_u64_vec(r);
+  return m;
+}
+
+util::shared_bytes encode(const stab_msg& m) {
+  DBSM_CHECK(m.stable.size() == m.min_received.size());
+  util::buffer_writer w(24 + 16 * m.stable.size());
+  put_header(w, m.hdr);
+  w.put_u32(m.round);
+  w.put_u32(m.voters_bitmap);
+  put_u64_vec(w, m.stable);
+  put_u64_vec(w, m.min_received);
+  return w.take();
+}
+
+stab_msg decode_stab(const util::shared_bytes& raw) {
+  stab_msg m;
+  auto r = open(raw, msg_type::stab, m.hdr);
+  m.round = r.get_u32();
+  m.voters_bitmap = r.get_u32();
+  m.stable = get_u64_vec(r);
+  m.min_received = get_u64_vec(r);
+  DBSM_CHECK(m.stable.size() == m.min_received.size());
+  return m;
+}
+
+util::shared_bytes encode(const heartbeat_msg& m) {
+  util::buffer_writer w(16);
+  put_header(w, m.hdr);
+  return w.take();
+}
+
+util::shared_bytes encode(const view_propose_msg& m) {
+  util::buffer_writer w(32);
+  put_header(w, m.hdr);
+  w.put_u32(m.new_view_id);
+  put_node_vec(w, m.proposed_members);
+  return w.take();
+}
+
+view_propose_msg decode_view_propose(const util::shared_bytes& raw) {
+  view_propose_msg m;
+  auto r = open(raw, msg_type::view_propose, m.hdr);
+  m.new_view_id = r.get_u32();
+  m.proposed_members = get_node_vec(r);
+  return m;
+}
+
+util::shared_bytes encode(const view_state_msg& m) {
+  util::buffer_writer w(32);
+  put_header(w, m.hdr);
+  w.put_u32(m.new_view_id);
+  put_u64_vec(w, m.prefixes);
+  return w.take();
+}
+
+view_state_msg decode_view_state(const util::shared_bytes& raw) {
+  view_state_msg m;
+  auto r = open(raw, msg_type::view_state, m.hdr);
+  m.new_view_id = r.get_u32();
+  m.prefixes = get_u64_vec(r);
+  return m;
+}
+
+util::shared_bytes encode(const view_cut_msg& m) {
+  util::buffer_writer w(64);
+  put_header(w, m.hdr);
+  w.put_u32(m.new_view_id);
+  put_node_vec(w, m.new_members);
+  put_u64_vec(w, m.cut);
+  put_node_vec(w, m.sources);
+  return w.take();
+}
+
+view_cut_msg decode_view_cut(const util::shared_bytes& raw) {
+  view_cut_msg m;
+  auto r = open(raw, msg_type::view_cut, m.hdr);
+  m.new_view_id = r.get_u32();
+  m.new_members = get_node_vec(r);
+  m.cut = get_u64_vec(r);
+  m.sources = get_node_vec(r);
+  DBSM_CHECK(m.cut.size() == m.sources.size());
+  return m;
+}
+
+util::shared_bytes encode(const view_flush_ok_msg& m) {
+  util::buffer_writer w(16);
+  put_header(w, m.hdr);
+  w.put_u32(m.new_view_id);
+  return w.take();
+}
+
+view_flush_ok_msg decode_view_flush_ok(const util::shared_bytes& raw) {
+  view_flush_ok_msg m;
+  auto r = open(raw, msg_type::view_flush_ok, m.hdr);
+  m.new_view_id = r.get_u32();
+  return m;
+}
+
+util::shared_bytes encode(const view_install_msg& m) {
+  util::buffer_writer w(64);
+  put_header(w, m.hdr);
+  w.put_u32(m.new_view_id);
+  put_node_vec(w, m.new_members);
+  put_u64_vec(w, m.cut);
+  return w.take();
+}
+
+view_install_msg decode_view_install(const util::shared_bytes& raw) {
+  view_install_msg m;
+  auto r = open(raw, msg_type::view_install, m.hdr);
+  m.new_view_id = r.get_u32();
+  m.new_members = get_node_vec(r);
+  m.cut = get_u64_vec(r);
+  return m;
+}
+
+header decode_header(const util::shared_bytes& raw) {
+  util::buffer_reader r(raw);
+  return get_header(r);
+}
+
+}  // namespace dbsm::gcs

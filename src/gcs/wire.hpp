@@ -1,0 +1,132 @@
+// Wire formats of the group communication protocol.
+//
+// Every datagram starts with: type (u8), view id (u32), sender (u32).
+// DATA datagrams additionally carry two sequence spaces per sender:
+//   * dgram_seq — transport-level, contiguous, drives NAK recovery,
+//     stability vectors and flush cuts;
+//   * app_seq / fragment indices — application messages, possibly
+//     fragmented over several consecutive datagrams.
+#ifndef DBSM_GCS_WIRE_HPP
+#define DBSM_GCS_WIRE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::gcs {
+
+enum class msg_type : std::uint8_t {
+  data = 1,
+  nak = 2,
+  stab = 3,
+  heartbeat = 4,
+  view_propose = 5,
+  view_state = 6,
+  view_cut = 7,
+  view_flush_ok = 8,
+  view_install = 9,
+};
+
+struct header {
+  msg_type type = msg_type::heartbeat;
+  std::uint32_t view_id = 0;
+  node_id sender = 0;
+};
+
+struct data_msg {
+  header hdr;
+  std::uint64_t dgram_seq = 0;
+  std::uint64_t app_seq = 0;
+  std::uint16_t frag_idx = 0;
+  std::uint16_t frag_cnt = 1;
+  util::shared_bytes payload;  // fragment bytes
+};
+
+struct nak_msg {
+  header hdr;
+  node_id target_sender = 0;  // whose stream has the gaps
+  std::vector<std::uint64_t> missing;
+};
+
+/// One gossip round contribution of the stability detection protocol
+/// (Guo's S/W/M scheme, §3.4). Vectors are indexed by the member list of
+/// the current view.
+struct stab_msg {
+  header hdr;
+  std::uint32_t round = 0;
+  std::uint32_t voters_bitmap = 0;          // W, bit i = member[i] voted
+  std::vector<std::uint64_t> stable;        // S
+  std::vector<std::uint64_t> min_received;  // M
+};
+
+struct heartbeat_msg {
+  header hdr;
+};
+
+struct view_propose_msg {
+  header hdr;
+  std::uint32_t new_view_id = 0;
+  std::vector<node_id> proposed_members;
+};
+
+/// Member → coordinator: per-sender contiguous receive prefixes (over the
+/// OLD view's members).
+struct view_state_msg {
+  header hdr;
+  std::uint32_t new_view_id = 0;
+  std::vector<std::uint64_t> prefixes;
+};
+
+/// Coordinator → members: agreed flush cut and, per sender, a member that
+/// already holds that prefix and can serve retransmissions.
+struct view_cut_msg {
+  header hdr;
+  std::uint32_t new_view_id = 0;
+  std::vector<node_id> new_members;
+  std::vector<std::uint64_t> cut;      // indexed by old-view member list
+  std::vector<node_id> sources;        // who to NAK for each old member
+};
+
+struct view_flush_ok_msg {
+  header hdr;
+  std::uint32_t new_view_id = 0;
+};
+
+struct view_install_msg {
+  header hdr;
+  std::uint32_t new_view_id = 0;
+  std::vector<node_id> new_members;
+  std::vector<std::uint64_t> cut;
+};
+
+// --- encoding ---
+
+util::shared_bytes encode(const data_msg& m);
+util::shared_bytes encode(const nak_msg& m);
+util::shared_bytes encode(const stab_msg& m);
+util::shared_bytes encode(const heartbeat_msg& m);
+util::shared_bytes encode(const view_propose_msg& m);
+util::shared_bytes encode(const view_state_msg& m);
+util::shared_bytes encode(const view_cut_msg& m);
+util::shared_bytes encode(const view_flush_ok_msg& m);
+util::shared_bytes encode(const view_install_msg& m);
+
+/// Peeks the header of any protocol datagram.
+header decode_header(const util::shared_bytes& raw);
+
+// Full decoders; they throw dbsm::invariant_violation on malformed input.
+data_msg decode_data(const util::shared_bytes& raw);
+nak_msg decode_nak(const util::shared_bytes& raw);
+stab_msg decode_stab(const util::shared_bytes& raw);
+view_propose_msg decode_view_propose(const util::shared_bytes& raw);
+view_state_msg decode_view_state(const util::shared_bytes& raw);
+view_cut_msg decode_view_cut(const util::shared_bytes& raw);
+view_flush_ok_msg decode_view_flush_ok(const util::shared_bytes& raw);
+view_install_msg decode_view_install(const util::shared_bytes& raw);
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_WIRE_HPP

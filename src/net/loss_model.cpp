@@ -1,0 +1,62 @@
+#include "net/loss_model.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dbsm::net {
+
+namespace {
+
+class random_loss_impl final : public loss_model {
+ public:
+  explicit random_loss_impl(double p) : p_(p) {
+    DBSM_CHECK(p >= 0.0 && p <= 1.0);
+  }
+  bool drop(util::rng& gen) override { return gen.bernoulli(p_); }
+
+ private:
+  double p_;
+};
+
+class bursty_loss_impl final : public loss_model {
+ public:
+  bursty_loss_impl(double rate, double mean_burst)
+      : rate_(rate), mean_burst_(mean_burst) {
+    DBSM_CHECK(rate > 0.0 && rate < 1.0);
+    DBSM_CHECK(mean_burst >= 1.0);
+  }
+
+  bool drop(util::rng& gen) override {
+    if (remaining_ == 0) {
+      // Switch state and draw the next period length (uniform around the
+      // mean, as the paper's bursts are "uniformly distributed").
+      in_burst_ = !in_burst_;
+      const double mean =
+          in_burst_ ? mean_burst_ : mean_burst_ * (1.0 - rate_) / rate_;
+      const auto hi = static_cast<std::int64_t>(2.0 * mean - 1.0);
+      remaining_ = gen.uniform_int(1, std::max<std::int64_t>(1, hi));
+    }
+    --remaining_;
+    return in_burst_;
+  }
+
+ private:
+  double rate_;
+  double mean_burst_;
+  bool in_burst_ = true;  // flipped to good before the first message
+  std::int64_t remaining_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<loss_model> random_loss(double probability) {
+  return std::make_shared<random_loss_impl>(probability);
+}
+
+std::shared_ptr<loss_model> bursty_loss(double avg_loss_rate,
+                                        double mean_burst_len) {
+  return std::make_shared<bursty_loss_impl>(avg_loss_rate, mean_burst_len);
+}
+
+}  // namespace dbsm::net

@@ -1,0 +1,31 @@
+// Message-loss models for fault injection (§5.3).
+#ifndef DBSM_NET_LOSS_MODEL_HPP
+#define DBSM_NET_LOSS_MODEL_HPP
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace dbsm::net {
+
+/// Decides, per received datagram, whether to discard it.
+class loss_model {
+ public:
+  virtual ~loss_model() = default;
+  virtual bool drop(util::rng& gen) = 0;
+};
+
+/// "Random loss: each message is discarded upon reception with the
+/// specified probability. Models transmission errors."
+std::shared_ptr<loss_model> random_loss(double probability);
+
+/// "Bursty loss: alternate periods with randomly generated durations in
+/// which messages are received or discarded. Models congestion."
+/// Period lengths are in messages, uniformly distributed with the given
+/// means; mean_bad/(mean_bad+mean_good) equals the average loss rate.
+std::shared_ptr<loss_model> bursty_loss(double avg_loss_rate,
+                                        double mean_burst_len);
+
+}  // namespace dbsm::net
+
+#endif  // DBSM_NET_LOSS_MODEL_HPP

@@ -1,0 +1,70 @@
+// Abstract datagram network (the SSFNet substitute, §2.1).
+//
+// A medium connects hosts, moves unreliable unordered datagrams between
+// them, models wire-level timing (serialization, queueing, switch latency,
+// MTU fragmentation) and exposes the injection points used for fault
+// injection (per-receiver loss models, host crash isolation) and the
+// counters behind Fig 6(c).
+#ifndef DBSM_NET_MEDIUM_HPP
+#define DBSM_NET_MEDIUM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/loss_model.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::net {
+
+/// Callback delivering a datagram payload to a host's protocol stack.
+using receiver_fn = std::function<void(node_id from, util::shared_bytes)>;
+
+/// Optional per-event trace hook (tcpdump-style observation).
+/// kind: 's' sent, 'd' delivered, 'l' lost (fault injection), 'o' overflow.
+using trace_fn = std::function<void(char kind, node_id from, node_id to,
+                                    std::size_t bytes, sim_time at)>;
+
+class medium {
+ public:
+  virtual ~medium() = default;
+
+  /// Adds a host; returns its node id (0, 1, 2, ...).
+  virtual node_id add_host() = 0;
+
+  /// Registers the datagram receiver of `node`.
+  virtual void set_receiver(node_id node, receiver_fn fn) = 0;
+
+  /// Sends a unicast datagram. Best-effort: may be dropped by queues,
+  /// loss models, or crashed endpoints.
+  virtual void send(node_id from, node_id to, util::shared_bytes payload) = 0;
+
+  /// Sends to every other host (IP multicast where the medium supports it).
+  virtual void multicast(node_id from, util::shared_bytes payload) = 0;
+
+  /// Transmissions one multicast costs the sending host's CPU/NIC.
+  virtual unsigned multicast_fanout(node_id from) const = 0;
+
+  /// Largest datagram payload the medium accepts.
+  virtual std::size_t max_datagram() const = 0;
+
+  /// Installs a loss model applied to datagrams *received* by `node`
+  /// (the paper injects loss upon reception, §5.3).
+  virtual void set_rx_loss(node_id node, std::shared_ptr<loss_model> model) = 0;
+
+  /// Isolates a crashed host: nothing in, nothing out, from now on.
+  virtual void isolate(node_id node) = 0;
+
+  /// Wire-level bytes transmitted by `node` (payload + all header overhead).
+  virtual std::uint64_t wire_bytes_sent(node_id node) const = 0;
+  /// Sum of wire bytes transmitted by all hosts.
+  virtual std::uint64_t total_wire_bytes() const = 0;
+
+  /// Installs a trace hook (pass nullptr to disable).
+  virtual void set_tracer(trace_fn fn) = 0;
+};
+
+}  // namespace dbsm::net
+
+#endif  // DBSM_NET_MEDIUM_HPP

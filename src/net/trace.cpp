@@ -1,0 +1,48 @@
+#include "net/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace dbsm::net {
+
+void trace_log::attach(medium& m) {
+  m.set_tracer([this](char kind, node_id from, node_id to,
+                      std::size_t bytes, sim_time at) {
+    record(kind, from, to, bytes, at);
+  });
+}
+
+void trace_log::record(char kind, node_id from, node_id to,
+                       std::size_t bytes, sim_time at) {
+  ++events_;
+  flow_stats& f = flows_[{from, to}];
+  switch (kind) {
+    case 's': ++f.sent; f.bytes += bytes; break;
+    case 'd': ++f.delivered; break;
+    case 'l': ++f.lost; break;
+    case 'o': ++f.overflowed; break;
+    default: break;
+  }
+  if (out_ != nullptr) {
+    const char* verb = kind == 's'   ? "send"
+                       : kind == 'd' ? "deliver"
+                       : kind == 'l' ? "drop"
+                                     : "overflow";
+    *out_ << std::fixed << std::setprecision(9) << to_seconds(at) << " "
+          << verb << " " << from << " > " << to << "  " << bytes
+          << " bytes\n";
+  }
+}
+
+std::string trace_log::summary() const {
+  std::ostringstream os;
+  os << "flow        sent  delivered  lost  overflow      bytes\n";
+  for (const auto& [key, f] : flows_) {
+    os << key.first << " > " << key.second << "  " << f.sent << "  "
+       << f.delivered << "  " << f.lost << "  " << f.overflowed << "  "
+       << f.bytes << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dbsm::net

@@ -1,0 +1,60 @@
+// Traffic capture (§2.1): SSFNet "can be captured in the same format
+// produced by tcpdump". We provide a tcpdump-style text trace of every
+// datagram event on a medium — timestamped send/deliver/loss/overflow
+// lines — plus per-flow summary counters, for protocol debugging.
+#ifndef DBSM_NET_TRACE_HPP
+#define DBSM_NET_TRACE_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "net/medium.hpp"
+
+namespace dbsm::net {
+
+/// Writes one line per datagram event:
+///   0.001234567 send  0 > 2  1048 bytes
+///   0.001345678 deliver 0 > 2  1048 bytes
+/// and accumulates per-(src,dst) flow statistics.
+class trace_log {
+ public:
+  /// Attaches to `medium`'s tracer hook; `out` must outlive the medium's
+  /// traffic (pass nullptr to only collect counters).
+  explicit trace_log(std::ostream* out = nullptr) : out_(out) {}
+
+  /// Installs this log on a medium (replaces any previous tracer).
+  void attach(medium& m);
+
+  /// The raw hook (usable directly as a trace_fn).
+  void record(char kind, node_id from, node_id to, std::size_t bytes,
+              sim_time at);
+
+  struct flow_stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t overflowed = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Per-(from,to) flows; multicast sends appear with to == group size.
+  const std::map<std::pair<node_id, node_id>, flow_stats>& flows() const {
+    return flows_;
+  }
+
+  std::uint64_t events() const { return events_; }
+
+  /// Renders the flow summary as an aligned table.
+  std::string summary() const;
+
+ private:
+  std::ostream* out_;
+  std::map<std::pair<node_id, node_id>, flow_stats> flows_;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace dbsm::net
+
+#endif  // DBSM_NET_TRACE_HPP

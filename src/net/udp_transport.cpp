@@ -1,0 +1,30 @@
+#include "net/udp_transport.hpp"
+
+namespace dbsm::net {
+
+udp_transport::udp_transport(medium& net, node_id self)
+    : net_(net), self_(self) {}
+
+void udp_transport::attach(csrt::sim_env& env) {
+  net_.set_receiver(self_, [&env](node_id from, util::shared_bytes payload) {
+    env.deliver_datagram(from, payload);
+  });
+}
+
+void udp_transport::send(node_id to, util::shared_bytes payload) {
+  net_.send(self_, to, std::move(payload));
+}
+
+void udp_transport::multicast(util::shared_bytes payload) {
+  net_.multicast(self_, std::move(payload));
+}
+
+unsigned udp_transport::multicast_fanout() const {
+  return net_.multicast_fanout(self_);
+}
+
+std::size_t udp_transport::max_datagram() const {
+  return net_.max_datagram();
+}
+
+}  // namespace dbsm::net

@@ -1,0 +1,32 @@
+// Adapter binding one host's sim_env to a simulated medium: implements the
+// csrt::transport egress interface and feeds arriving datagrams back into
+// the env as receive jobs.
+#ifndef DBSM_NET_UDP_TRANSPORT_HPP
+#define DBSM_NET_UDP_TRANSPORT_HPP
+
+#include "csrt/sim_env.hpp"
+#include "net/medium.hpp"
+
+namespace dbsm::net {
+
+class udp_transport final : public csrt::transport {
+ public:
+  udp_transport(medium& net, node_id self);
+
+  /// Wires arriving datagrams into `env` (call once after env creation).
+  void attach(csrt::sim_env& env);
+
+  // --- csrt::transport ---
+  void send(node_id to, util::shared_bytes payload) override;
+  void multicast(util::shared_bytes payload) override;
+  unsigned multicast_fanout() const override;
+  std::size_t max_datagram() const override;
+
+ private:
+  medium& net_;
+  node_id self_;
+};
+
+}  // namespace dbsm::net
+
+#endif  // DBSM_NET_UDP_TRANSPORT_HPP

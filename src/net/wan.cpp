@@ -1,0 +1,124 @@
+#include "net/wan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dbsm::net {
+
+wan::wan(sim::simulator& sim, wan_config cfg, util::rng gen)
+    : sim_(sim), cfg_(cfg), rng_(gen) {
+  DBSM_CHECK(cfg_.access_bandwidth_bps > 0);
+}
+
+node_id wan::add_host() {
+  hosts_.emplace_back();
+  for (auto& row : latency_) row.push_back(cfg_.default_latency);
+  latency_.emplace_back(hosts_.size(), cfg_.default_latency);
+  return static_cast<node_id>(hosts_.size() - 1);
+}
+
+void wan::set_receiver(node_id node, receiver_fn fn) {
+  hosts_.at(node).receiver = std::move(fn);
+}
+
+void wan::set_rx_loss(node_id node, std::shared_ptr<loss_model> model) {
+  hosts_.at(node).rx_loss = std::move(model);
+}
+
+void wan::isolate(node_id node) { hosts_.at(node).isolated = true; }
+
+void wan::set_tracer(trace_fn fn) { tracer_ = std::move(fn); }
+
+void wan::set_latency(node_id a, node_id b, sim_duration one_way) {
+  latency_.at(a).at(b) = one_way;
+  latency_.at(b).at(a) = one_way;
+}
+
+sim_duration wan::latency(node_id a, node_id b) const {
+  return latency_.at(a).at(b);
+}
+
+std::uint64_t wan::wire_bytes_sent(node_id node) const {
+  return hosts_.at(node).wire_bytes;
+}
+
+std::uint64_t wan::total_wire_bytes() const {
+  std::uint64_t total = 0;
+  for (const host& h : hosts_) total += h.wire_bytes;
+  return total;
+}
+
+unsigned wan::multicast_fanout(node_id) const {
+  return hosts_.size() <= 1 ? 1
+                            : static_cast<unsigned>(hosts_.size() - 1);
+}
+
+std::size_t wan::wire_size(std::size_t payload) const {
+  return payload + cfg_.ip_udp_header + cfg_.link_overhead;
+}
+
+void wan::transmit_one(node_id from, node_id to,
+                       util::shared_bytes payload) {
+  host& sender = hosts_.at(from);
+  if (sender.tx_queued_bytes + payload->size() > cfg_.tx_buffer_bytes) {
+    if (tracer_) tracer_('o', from, to, payload->size(), sim_.now());
+    return;
+  }
+  const std::size_t wire = wire_size(payload->size());
+  const sim_duration ser = static_cast<sim_duration>(
+      static_cast<double>(wire) * 8.0 / cfg_.access_bandwidth_bps * 1e9);
+  const sim_time start = std::max(sim_.now(), sender.tx_free_at);
+  const sim_time tx_end = start + ser;
+  sender.tx_free_at = tx_end;
+  sender.wire_bytes += wire;
+  sender.tx_queued_bytes += payload->size();
+  const std::size_t sz = payload->size();
+  sim_.schedule_at(tx_end, [this, from, sz] {
+    host& h = hosts_.at(from);
+    DBSM_CHECK(h.tx_queued_bytes >= sz);
+    h.tx_queued_bytes -= sz;
+  });
+  const sim_time arrive = tx_end + latency(from, to);
+  sim_.schedule_at(arrive, [this, from, to, payload] {
+    host& h = hosts_.at(to);
+    if (h.isolated) return;
+    if (h.rx_loss && h.rx_loss->drop(rng_)) {
+      if (tracer_) tracer_('l', from, to, payload->size(), sim_.now());
+      return;
+    }
+    if (tracer_) tracer_('d', from, to, payload->size(), sim_.now());
+    if (h.receiver) h.receiver(from, payload);
+  });
+}
+
+void wan::send(node_id from, node_id to, util::shared_bytes payload) {
+  DBSM_CHECK(payload != nullptr);
+  DBSM_CHECK(payload->size() <= cfg_.max_datagram_payload);
+  host& sender = hosts_.at(from);
+  if (sender.isolated) return;
+  if (tracer_) tracer_('s', from, to, payload->size(), sim_.now());
+  if (to == from) {
+    sim_.schedule_at(sim_.now(), [this, from, payload] {
+      host& h = hosts_.at(from);
+      if (h.receiver) h.receiver(from, payload);
+    });
+    return;
+  }
+  transmit_one(from, to, payload);
+}
+
+void wan::multicast(node_id from, util::shared_bytes payload) {
+  DBSM_CHECK(payload != nullptr);
+  host& sender = hosts_.at(from);
+  if (sender.isolated) return;
+  // No IP multicast across the wide area: unicast fan-out (§3.4).
+  for (node_id to = 0; to < hosts_.size(); ++to) {
+    if (to == from) continue;
+    if (tracer_) tracer_('s', from, to, payload->size(), sim_.now());
+    transmit_one(from, to, payload);
+  }
+}
+
+}  // namespace dbsm::net

@@ -1,0 +1,53 @@
+#include "tpcc/client.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dbsm::tpcc {
+
+client::client(sim::simulator& sim, workload& load, std::uint32_t home_w,
+               std::uint32_t home_d, submit_fn submit, report_fn report,
+               util::rng gen)
+    : sim_(sim), load_(load), home_w_(home_w), home_d_(home_d),
+      submit_(std::move(submit)), report_(std::move(report)), rng_(gen) {
+  DBSM_CHECK(submit_ != nullptr);
+}
+
+void client::start(sim_duration initial_delay) {
+  sim_.schedule_after(initial_delay, [this] { issue(); });
+}
+
+void client::issue() {
+  if (stopped_) return;
+  load_.set_now(sim_.now());
+  db::txn_request req = load_.next(home_w_, home_d_);
+  const db::txn_class cls = req.cls;
+  const sim_time submitted = sim_.now();
+  waiting_ = true;
+  submit_(std::move(req), [this, cls, submitted](db::txn_outcome outcome) {
+    on_reply(cls, submitted, outcome);
+  });
+}
+
+void client::on_reply(db::txn_class cls, sim_time submitted,
+                      db::txn_outcome outcome) {
+  waiting_ = false;
+  ++completed_;
+  if (report_) {
+    result r;
+    r.cls = cls;
+    r.outcome = outcome;
+    r.submitted = submitted;
+    r.finished = sim_.now();
+    report_(r);
+  }
+  if (stopped_) return;
+  // Aborted transactions are not resubmitted (§5.1); the client simply
+  // thinks and moves on to a fresh request.
+  const double think_s = load_.profile().think_time->sample(rng_);
+  sim_.schedule_after(from_seconds(std::max(think_s, 0.0)),
+                      [this] { issue(); });
+}
+
+}  // namespace dbsm::tpcc

@@ -1,0 +1,64 @@
+// Client model (§3.2): a single-threaded process attached to one database
+// site. It issues a transaction, blocks until the reply, pauses for a
+// think time, and repeats. Each terminal outcome is logged with submit and
+// finish timestamps (the source of all latency/throughput/abort metrics).
+#ifndef DBSM_TPCC_CLIENT_HPP
+#define DBSM_TPCC_CLIENT_HPP
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "tpcc/workload.hpp"
+
+namespace dbsm::tpcc {
+
+class client {
+ public:
+  /// One completed transaction, as logged by the client (§3.2).
+  struct result {
+    db::txn_class cls = 0;
+    db::txn_outcome outcome = db::txn_outcome::committed;
+    sim_time submitted = 0;
+    sim_time finished = 0;
+  };
+
+  /// Hands a request to the local replica; the callback delivers the
+  /// terminal outcome.
+  using submit_fn =
+      std::function<void(db::txn_request,
+                         std::function<void(db::txn_outcome)>)>;
+  using report_fn = std::function<void(const result&)>;
+
+  client(sim::simulator& sim, workload& load, std::uint32_t home_w,
+         std::uint32_t home_d, submit_fn submit, report_fn report,
+         util::rng gen);
+
+  /// Begins issuing after `initial_delay` (staggered start).
+  void start(sim_duration initial_delay);
+
+  /// Stops issuing new transactions (e.g. its site crashed).
+  void stop() { stopped_ = true; }
+
+  std::uint64_t completed() const { return completed_; }
+  bool waiting_for_reply() const { return waiting_; }
+
+ private:
+  void issue();
+  void on_reply(db::txn_class cls, sim_time submitted,
+                db::txn_outcome outcome);
+
+  sim::simulator& sim_;
+  workload& load_;
+  std::uint32_t home_w_;
+  std::uint32_t home_d_;
+  submit_fn submit_;
+  report_fn report_;
+  util::rng rng_;
+  bool stopped_ = false;
+  bool waiting_ = false;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace dbsm::tpcc
+
+#endif  // DBSM_TPCC_CLIENT_HPP

@@ -1,0 +1,51 @@
+#include "tpcc/profile.hpp"
+
+#include "util/check.hpp"
+
+namespace dbsm::tpcc {
+
+const char* class_name(db::txn_class cls) {
+  switch (cls) {
+    case c_neworder: return "neworder";
+    case c_payment_long: return "payment (long)";
+    case c_payment_short: return "payment (short)";
+    case c_orderstatus_long: return "orderstatus (long)";
+    case c_orderstatus_short: return "orderstatus (short)";
+    case c_delivery: return "delivery";
+    case c_stocklevel: return "stocklevel";
+    default: return "?";
+  }
+}
+
+bool is_update_class(db::txn_class cls) {
+  switch (cls) {
+    case c_neworder:
+    case c_payment_long:
+    case c_payment_short:
+    case c_delivery:
+      return true;
+    default:
+      return false;
+  }
+}
+
+workload_profile workload_profile::pentium3_1ghz() {
+  workload_profile p;
+  // Means chosen so the mix-weighted CPU demand is ~22 ms/transaction
+  // (plus ~2 ms commit processing), saturating one 1 GHz CPU at ~500
+  // clients with an 11.5 s mean think time — the paper's Fig 5/6 knee.
+  // Coefficients of variation reflect that within-class behaviour is
+  // homogeneous after the long/short splits (§4.1: stddev below 30% of
+  // the mean when not saturated).
+  p.cpu[c_neworder] = util::lognormal_dist(0.0215, 0.30, 0.25);
+  p.cpu[c_payment_long] = util::lognormal_dist(0.013, 0.25, 0.15);
+  p.cpu[c_payment_short] = util::lognormal_dist(0.0085, 0.25, 0.15);
+  p.cpu[c_orderstatus_long] = util::lognormal_dist(0.013, 0.30, 0.15);
+  p.cpu[c_orderstatus_short] = util::lognormal_dist(0.005, 0.25, 0.10);
+  p.cpu[c_delivery] = util::lognormal_dist(0.077, 0.30, 0.60);
+  p.cpu[c_stocklevel] = util::lognormal_dist(0.030, 0.35, 0.30);
+  p.think_time = util::exponential_dist(11.5);
+  return p;
+}
+
+}  // namespace dbsm::tpcc

@@ -1,0 +1,99 @@
+// TPC-C schema constants (§3.2): cardinalities and tuple sizes.
+//
+// "The database size is configured for each simulation run according to
+// the number of clients as each warehouse supports 10 emulated clients.
+// As an example, with 2000 clients, the database contains in excess of
+// 10^9 tuples, each ranging from 8 to 655 bytes."
+// (2000 clients -> 200 warehouses -> dominated by 100k stock rows and
+// 30k customers plus history/orderlines per warehouse.)
+#ifndef DBSM_TPCC_SCHEMA_HPP
+#define DBSM_TPCC_SCHEMA_HPP
+
+#include <cstdint>
+
+#include "db/item.hpp"
+
+namespace dbsm::tpcc {
+
+enum class table : unsigned {
+  warehouse = 0,
+  district = 1,
+  customer = 2,
+  history = 3,
+  orders = 4,
+  neworder = 5,
+  orderline = 6,
+  item = 7,
+  stock = 8,
+};
+
+constexpr unsigned table_count = 9;
+
+/// Average tuple sizes in bytes (TPC-C clause 1.2 row definitions).
+constexpr std::uint32_t tuple_bytes(table t) {
+  switch (t) {
+    case table::warehouse: return 89;
+    case table::district: return 95;
+    case table::customer: return 655;
+    case table::history: return 46;
+    case table::orders: return 24;
+    case table::neworder: return 8;
+    case table::orderline: return 54;
+    case table::item: return 82;
+    case table::stock: return 306;
+  }
+  return 0;
+}
+
+constexpr unsigned districts_per_warehouse = 10;
+constexpr unsigned customers_per_district = 3000;
+constexpr unsigned item_count = 100000;
+constexpr unsigned stock_per_warehouse = 100000;
+constexpr unsigned initial_orders_per_district = 3000;
+
+/// §3.2: "each warehouse supports 10 emulated clients".
+constexpr unsigned clients_per_warehouse = 10;
+
+constexpr unsigned warehouses_for_clients(unsigned clients) {
+  return clients == 0 ? 1
+                      : (clients + clients_per_warehouse - 1) /
+                            clients_per_warehouse;
+}
+
+/// Tuple id helpers over the db::item_id codec.
+constexpr db::item_id tuple_id(table t, std::uint32_t w, std::uint32_t d,
+                               std::uint32_t row) {
+  return db::make_item(static_cast<unsigned>(t), w, d, row);
+}
+
+/// Warehouse-level granule: covers every tuple of `t` belonging to
+/// warehouse `w`. Used for scans whose access path is indexed on the
+/// warehouse only (customer by-name selection) — see DESIGN.md.
+constexpr db::item_id wh_granule(table t, std::uint32_t w) {
+  return db::make_granule(static_cast<unsigned>(t), w, 0);
+}
+
+/// District-level granule: covers the tuples of `t` in one district.
+/// Used for scans indexed down to the district (the delivery transaction's
+/// min-order search over NEW-ORDER).
+constexpr db::item_id district_granule(table t, std::uint32_t w,
+                                       std::uint32_t d) {
+  return db::make_granule(static_cast<unsigned>(t), w, d);
+}
+
+/// The granule a *write* to table `t` must advertise so escalated reads
+/// catch it — matching the read-side granularity per access path:
+/// customer scans are warehouse-level, NEW-ORDER scans district-level,
+/// and no other table has scan readers. Returns 0 for "none".
+constexpr db::item_id write_granule(table t, std::uint32_t w,
+                                    std::uint32_t d) {
+  switch (t) {
+    case table::customer: return wh_granule(table::customer, w);
+    case table::neworder: return district_granule(table::neworder, w, d);
+    default: return 0;
+  }
+}
+
+}  // namespace dbsm::tpcc
+
+#endif  // DBSM_TPCC_SCHEMA_HPP

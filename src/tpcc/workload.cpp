@@ -1,0 +1,283 @@
+#include "tpcc/workload.hpp"
+
+#include <algorithm>
+
+#include "cert/rwset.hpp"
+#include "util/check.hpp"
+
+namespace dbsm::tpcc {
+
+workload::workload(workload_profile profile, unsigned warehouses,
+                   util::rng gen)
+    : profile_(std::move(profile)), warehouses_(warehouses), rng_(gen) {
+  DBSM_CHECK(warehouses_ >= 1);
+  next_o_.assign(warehouses_ * districts_per_warehouse,
+                 initial_orders_per_district);
+  nurand_c_last_ = static_cast<std::uint32_t>(rng_.uniform_int(0, 255));
+  nurand_c_id_ = static_cast<std::uint32_t>(rng_.uniform_int(0, 1023));
+}
+
+std::uint32_t workload::nurand(std::uint32_t a, std::uint32_t x,
+                               std::uint32_t y) {
+  const std::uint32_t c = a == 255 ? nurand_c_last_ : nurand_c_id_;
+  const auto r1 = static_cast<std::uint32_t>(rng_.uniform_int(0, a));
+  const auto r2 = static_cast<std::uint32_t>(rng_.uniform_int(x, y));
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+std::uint32_t& workload::next_o(std::uint32_t w, std::uint32_t d) {
+  return next_o_.at(w * districts_per_warehouse + d);
+}
+
+std::uint32_t workload::other_warehouse(std::uint32_t w) {
+  if (warehouses_ <= 1) return w;
+  auto o = static_cast<std::uint32_t>(rng_.uniform_int(0, warehouses_ - 2));
+  if (o >= w) ++o;
+  return o;
+}
+
+void workload::read_tuple(build& b, table t, std::uint32_t w,
+                          std::uint32_t d, std::uint32_t row) {
+  b.reads.push_back(tuple_id(t, w, d, row));
+  b.fetch_bytes += tuple_bytes(t);
+}
+
+void workload::write_tuple(build& b, table t, std::uint32_t w,
+                           std::uint32_t d, std::uint32_t row) {
+  b.writes.push_back(tuple_id(t, w, d, row));
+  // Advertise the granule scan-readers of this table use, so escalated
+  // reads certify against this write (none for unscanned tables).
+  const db::item_id g = write_granule(t, w, d);
+  if (g != 0) b.writes.push_back(g);
+  b.update_bytes += tuple_bytes(t);
+  // Disk model: scattered tuples occupy one sector each; consecutive
+  // orderline inserts of one order pack several rows per page.
+  if (t == table::orderline) {
+    ++b.orderline_writes;
+  } else {
+    ++b.disk_sectors;
+  }
+}
+
+void workload::scan_customers(build& b, std::uint32_t w) {
+  // Selection by last name: an unindexed scan over the warehouse's
+  // customers in the profiled engine. With escalation on (§3.3), the read
+  // set carries the warehouse-level customer granule; otherwise the
+  // matching tuples travel individually.
+  const auto rows = static_cast<unsigned>(rng_.uniform_int(20, 40));
+  b.fetch_bytes += tuple_bytes(table::customer) * rows;
+  if (profile_.escalate_scans && rows > 0) {
+    b.reads.push_back(wh_granule(table::customer, w));
+    return;
+  }
+  for (unsigned i = 0; i < rows; ++i) {
+    const auto d = static_cast<std::uint32_t>(
+        rng_.uniform_int(0, districts_per_warehouse - 1));
+    b.reads.push_back(tuple_id(
+        table::customer, w, d,
+        static_cast<std::uint32_t>(
+            rng_.uniform_int(0, customers_per_district - 1))));
+  }
+}
+
+db::txn_request workload::finish(db::txn_class cls, build&& b) {
+  db::txn_request req;
+  req.cls = cls;
+  req.read_set = std::move(b.reads);
+  req.update_bytes = b.update_bytes;
+  req.write_set = std::move(b.writes);
+  req.disk_sectors = static_cast<std::uint16_t>(
+      b.disk_sectors + (b.orderline_writes + 3) / 4);
+  cert::normalize(req.read_set);
+  cert::normalize(req.write_set);
+
+  // Execution script: one aggregate fetch (the cache model decides what
+  // touches storage), processing split into slices.
+  const double cpu_s = profile_.cpu[cls]->sample(rng_);
+  const auto total_cpu = from_seconds(std::max(cpu_s, 0.0002));
+  const unsigned slices = std::max(1u, profile_.process_slices);
+
+  db::operation fetch;
+  fetch.k = db::operation::kind::fetch;
+  fetch.bytes = b.fetch_bytes;
+  req.ops.push_back(fetch);
+  for (unsigned i = 0; i < slices; ++i) {
+    db::operation proc;
+    proc.k = db::operation::kind::process;
+    proc.cpu = total_cpu / slices;
+    req.ops.push_back(proc);
+  }
+  if (!b.writes.empty()) {
+    db::operation wr;
+    wr.k = db::operation::kind::write;
+    wr.item = b.writes.front();
+    wr.bytes = b.update_bytes;
+    req.ops.push_back(wr);
+  }
+  return req;
+}
+
+db::txn_request workload::gen_neworder(std::uint32_t w) {
+  build b;
+  const auto d = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, districts_per_warehouse - 1));
+  const std::uint32_t c = nurand(1023, 0, customers_per_district - 1);
+
+  read_tuple(b, table::warehouse, w, 0, 0);
+  read_tuple(b, table::district, w, d, 0);
+  read_tuple(b, table::customer, w, d, c);
+  write_tuple(b, table::district, w, d, 0);  // d_next_o_id
+
+  const auto ol_cnt = static_cast<unsigned>(rng_.uniform_int(5, 15));
+  for (unsigned line = 0; line < ol_cnt; ++line) {
+    const std::uint32_t item = nurand(8191, 0, item_count - 1);
+    const bool remote =
+        rng_.bernoulli(profile_.neworder_remote_line_fraction);
+    const std::uint32_t sw = remote ? other_warehouse(w) : w;
+    read_tuple(b, table::item, 0, 0, item);
+    read_tuple(b, table::stock, sw, 0, item);
+    write_tuple(b, table::stock, sw, 0, item);
+  }
+
+  const std::uint32_t o = next_o(w, d)++;
+  write_tuple(b, table::orders, w, d, o);
+  write_tuple(b, table::neworder, w, d, o);
+  for (unsigned line = 0; line < ol_cnt; ++line)
+    write_tuple(b, table::orderline, w, d, o * 16 + line);
+
+  return finish(c_neworder, std::move(b));
+}
+
+db::txn_request workload::gen_payment(std::uint32_t w, bool by_name) {
+  build b;
+  const auto d = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, districts_per_warehouse - 1));
+  // 15% of customers belong to a remote warehouse.
+  const bool remote = warehouses_ > 1 &&
+                      rng_.bernoulli(profile_.payment_remote_fraction);
+  const std::uint32_t cw = remote ? other_warehouse(w) : w;
+  const auto cd = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, districts_per_warehouse - 1));
+  const std::uint32_t c = nurand(1023, 0, customers_per_district - 1);
+
+  read_tuple(b, table::warehouse, w, 0, 0);
+  read_tuple(b, table::district, w, d, 0);
+  if (by_name) scan_customers(b, cw);
+  read_tuple(b, table::customer, cw, cd, c);
+
+  write_tuple(b, table::warehouse, w, 0, 0);  // w_ytd: the hotspot
+  write_tuple(b, table::district, w, d, 0);   // d_ytd
+  write_tuple(b, table::customer, cw, cd, c);
+  // History insert: no key, never conflicts; a random row id from a large
+  // space models the heap append.
+  write_tuple(b, table::history, w, d,
+              static_cast<std::uint32_t>(rng_.uniform_int(0, (1 << 25) - 2)));
+
+  return finish(by_name ? c_payment_long : c_payment_short, std::move(b));
+}
+
+db::txn_request workload::gen_orderstatus(std::uint32_t w, bool by_name) {
+  build b;
+  const auto d = static_cast<std::uint32_t>(
+      rng_.uniform_int(0, districts_per_warehouse - 1));
+  const std::uint32_t c = nurand(1023, 0, customers_per_district - 1);
+
+  if (by_name) scan_customers(b, w);
+  read_tuple(b, table::customer, w, d, c);
+
+  // The customer's most recent order and its lines (indexed lookups).
+  const std::uint32_t newest = next_o(w, d);
+  const auto back = static_cast<std::uint32_t>(rng_.uniform_int(1, 20));
+  const std::uint32_t o = newest > back ? newest - back : 1;
+  read_tuple(b, table::orders, w, d, o);
+  const auto lines = static_cast<unsigned>(rng_.uniform_int(5, 15));
+  for (unsigned line = 0; line < lines; ++line)
+    read_tuple(b, table::orderline, w, d, o * 16 + line);
+
+  return finish(by_name ? c_orderstatus_long : c_orderstatus_short,
+                std::move(b));
+}
+
+db::txn_request workload::gen_delivery(std::uint32_t w) {
+  build b;
+  // The oldest undelivered order per district is a property of the shared
+  // database state: every replica's delivery transaction selects the SAME
+  // rows (min o_id via index — a point lookup). We model that shared state
+  // as a deterministic function of simulated time, advancing at the
+  // expected delivery rate; concurrent deliveries at one warehouse thus
+  // target identical rows and conflict write-write, exactly as the real
+  // system's would.
+  const double per_district_rate = clients_per_warehouse *
+                                   profile_.mix_delivery /
+                                   profile_.think_time->mean() /
+                                   districts_per_warehouse;
+  const auto advance = static_cast<std::uint32_t>(
+      to_seconds(now_) * per_district_rate);
+  for (std::uint32_t d = 0; d < districts_per_warehouse; ++d) {
+    const std::uint32_t o = 2101 + advance;
+    read_tuple(b, table::neworder, w, d, o);
+    read_tuple(b, table::orders, w, d, o);
+    write_tuple(b, table::neworder, w, d, o);  // delete
+    write_tuple(b, table::orders, w, d, o);    // carrier id
+    const auto lines = static_cast<unsigned>(rng_.uniform_int(5, 15));
+    for (unsigned line = 0; line < lines; ++line) {
+      read_tuple(b, table::orderline, w, d, o * 16 + line);
+      write_tuple(b, table::orderline, w, d, o * 16 + line);
+    }
+    const std::uint32_t c = nurand(1023, 0, customers_per_district - 1);
+    write_tuple(b, table::customer, w, d, c);  // balance
+  }
+  return finish(c_delivery, std::move(b));
+}
+
+db::txn_request workload::gen_stocklevel(std::uint32_t w, std::uint32_t d) {
+  build b;
+  read_tuple(b, table::district, w, d, 0);
+  // The last 20 orders' lines and their stock entries — all indexed
+  // point lookups, so the read set stays at tuple granularity.
+  const std::uint32_t newest = next_o(w, d);
+  for (unsigned k = 0; k < 20; ++k) {
+    const std::uint32_t o = newest > (k + 1) ? newest - (k + 1) : 1;
+    const auto lines = static_cast<unsigned>(rng_.uniform_int(5, 15));
+    for (unsigned line = 0; line < lines; ++line) {
+      read_tuple(b, table::orderline, w, d, o * 16 + line);
+      const std::uint32_t item = nurand(8191, 0, item_count - 1);
+      read_tuple(b, table::stock, w, 0, item);
+    }
+  }
+  return finish(c_stocklevel, std::move(b));
+}
+
+db::txn_request workload::make(db::txn_class cls, std::uint32_t home_w,
+                               std::uint32_t home_d) {
+  switch (cls) {
+    case c_neworder: return gen_neworder(home_w);
+    case c_payment_long: return gen_payment(home_w, true);
+    case c_payment_short: return gen_payment(home_w, false);
+    case c_orderstatus_long: return gen_orderstatus(home_w, true);
+    case c_orderstatus_short: return gen_orderstatus(home_w, false);
+    case c_delivery: return gen_delivery(home_w);
+    case c_stocklevel: return gen_stocklevel(home_w, home_d);
+    default:
+      DBSM_CHECK_MSG(false, "unknown class " << cls);
+  }
+}
+
+db::txn_request workload::next(std::uint32_t home_w, std::uint32_t home_d) {
+  DBSM_CHECK(home_w < warehouses_);
+  const double pick = rng_.uniform();
+  const workload_profile& p = profile_;
+  double acc = p.mix_neworder;
+  if (pick < acc) return gen_neworder(home_w);
+  acc += p.mix_payment;
+  if (pick < acc)
+    return gen_payment(home_w, rng_.bernoulli(p.by_name_fraction));
+  acc += p.mix_orderstatus;
+  if (pick < acc)
+    return gen_orderstatus(home_w, rng_.bernoulli(p.by_name_fraction));
+  acc += p.mix_delivery;
+  if (pick < acc) return gen_delivery(home_w);
+  return gen_stocklevel(home_w, home_d);
+}
+
+}  // namespace dbsm::tpcc

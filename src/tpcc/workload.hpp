@@ -1,0 +1,83 @@
+// TPC-C traffic generation (§3.2): builds txn_requests — execution script
+// plus certification read/write sets — for each of the five transaction
+// types, scaled to the number of clients.
+//
+// Only the workload is taken from TPC-C: throughput/screen/keying
+// constraints do not apply (§3.2).
+#ifndef DBSM_TPCC_WORKLOAD_HPP
+#define DBSM_TPCC_WORKLOAD_HPP
+
+#include <vector>
+
+#include "db/transaction.hpp"
+#include "tpcc/profile.hpp"
+#include "tpcc/schema.hpp"
+#include "util/rng.hpp"
+
+namespace dbsm::tpcc {
+
+/// One workload generator per site; clients of the site share it (and its
+/// per-district order counters).
+class workload {
+ public:
+  workload(workload_profile profile, unsigned warehouses, util::rng gen);
+
+  /// Generates the next request for a client homed at (warehouse,
+  /// district). The request has no id/origin yet (the replica assigns
+  /// them).
+  db::txn_request next(std::uint32_t home_w, std::uint32_t home_d);
+
+  /// Informs the generator of the current simulated time; state shared
+  /// across replicas (the delivery queue head) is modeled as a function
+  /// of it. Clients call this before generating.
+  void set_now(sim_time now) { now_ = now; }
+
+  /// Generates a request of a specific class (tests and targeted benches).
+  db::txn_request make(db::txn_class cls, std::uint32_t home_w,
+                       std::uint32_t home_d);
+
+  const workload_profile& profile() const { return profile_; }
+  unsigned warehouses() const { return warehouses_; }
+
+  /// TPC-C non-uniform random (clause 2.1.6); exposed for tests.
+  std::uint32_t nurand(std::uint32_t a, std::uint32_t x, std::uint32_t y);
+
+ private:
+  struct build {
+    std::vector<db::operation> ops;
+    std::vector<db::item_id> reads;
+    std::vector<db::item_id> writes;  // tuples + advertised granules
+    std::uint32_t update_bytes = 0;
+    std::uint32_t fetch_bytes = 0;
+    std::uint32_t disk_sectors = 0;
+    std::uint32_t orderline_writes = 0;
+  };
+
+  db::txn_request finish(db::txn_class cls, build&& b);
+  void scan_customers(build& b, std::uint32_t w);
+  void read_tuple(build& b, table t, std::uint32_t w, std::uint32_t d,
+                  std::uint32_t row);
+  void write_tuple(build& b, table t, std::uint32_t w, std::uint32_t d,
+                   std::uint32_t row);
+
+  std::uint32_t other_warehouse(std::uint32_t w);
+  std::uint32_t& next_o(std::uint32_t w, std::uint32_t d);
+
+  db::txn_request gen_neworder(std::uint32_t w);
+  db::txn_request gen_payment(std::uint32_t w, bool by_name);
+  db::txn_request gen_orderstatus(std::uint32_t w, bool by_name);
+  db::txn_request gen_delivery(std::uint32_t w);
+  db::txn_request gen_stocklevel(std::uint32_t w, std::uint32_t d);
+
+  workload_profile profile_;
+  unsigned warehouses_;
+  util::rng rng_;
+  sim_time now_ = 0;
+  std::uint32_t nurand_c_last_ = 0;
+  std::uint32_t nurand_c_id_ = 0;
+  std::vector<std::uint32_t> next_o_;  // per (w, d): next order row
+};
+
+}  // namespace dbsm::tpcc
+
+#endif  // DBSM_TPCC_WORKLOAD_HPP

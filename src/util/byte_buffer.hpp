@@ -1,0 +1,83 @@
+// Wire-format marshaling buffers.
+//
+// The certification prototype marshals transaction ids, read/write sets and
+// written values into message buffers (§3.3). Encoding is little-endian,
+// fixed width. Payloads are shared (shared_ptr) so that forwarding a message
+// through protocol layers and the simulated network never copies it — the
+// "avoid copying already-marshaled buffers" property of the paper's
+// prototype.
+#ifndef DBSM_UTIL_BYTE_BUFFER_HPP
+#define DBSM_UTIL_BYTE_BUFFER_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbsm::util {
+
+using bytes = std::vector<std::uint8_t>;
+using shared_bytes = std::shared_ptr<const bytes>;
+
+/// Appends fixed-width little-endian values to a growable buffer.
+class buffer_writer {
+ public:
+  buffer_writer() = default;
+  explicit buffer_writer(std::size_t reserve) { data_.reserve(reserve); }
+
+  void put_u8(std::uint8_t v);
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_double(double v);
+  void put_bytes(const std::uint8_t* p, std::size_t n);
+  void put_string(std::string_view s);  // u32 length prefix + bytes
+
+  /// Appends `n` zero bytes; models the padding the prototype adds so that
+  /// message sizes match the tuple values of a real system (§3.3).
+  void put_padding(std::size_t n);
+
+  std::size_t size() const { return data_.size(); }
+
+  /// Finishes writing and returns the buffer as an immutable shared payload.
+  shared_bytes take();
+
+ private:
+  bytes data_;
+};
+
+/// Reads values written by buffer_writer. Out-of-bounds reads throw.
+class buffer_reader {
+ public:
+  explicit buffer_reader(shared_bytes data);
+  buffer_reader(const std::uint8_t* p, std::size_t n);
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  double get_double();
+  void get_bytes(std::uint8_t* out, std::size_t n);
+  std::string get_string();
+  void skip(std::size_t n);
+
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  shared_bytes owner_;  // keeps the payload alive when reading shared data
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dbsm::util
+
+#endif  // DBSM_UTIL_BYTE_BUFFER_HPP

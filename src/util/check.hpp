@@ -1,0 +1,48 @@
+// Invariant checking. Violations throw, so tests can assert on them and a
+// long simulation run fails loudly instead of silently corrupting results.
+#ifndef DBSM_UTIL_CHECK_HPP
+#define DBSM_UTIL_CHECK_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dbsm {
+
+/// Thrown when a DBSM_CHECK invariant fails.
+class invariant_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& extra) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw invariant_violation(os.str());
+}
+}  // namespace detail
+
+}  // namespace dbsm
+
+/// Always-on invariant check (simulations are cheap; silent corruption is not).
+#define DBSM_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) ::dbsm::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Invariant check with a streamed explanation, e.g.
+/// DBSM_CHECK_MSG(a == b, "a=" << a << " b=" << b).
+#define DBSM_CHECK_MSG(cond, stream_expr)                               \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream dbsm_check_os;                                 \
+      dbsm_check_os << stream_expr;                                     \
+      ::dbsm::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                   dbsm_check_os.str());                \
+    }                                                                   \
+  } while (false)
+
+#endif  // DBSM_UTIL_CHECK_HPP

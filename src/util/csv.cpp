@@ -1,0 +1,18 @@
+#include "util/csv.hpp"
+
+namespace dbsm::util {
+
+csv_writer::csv_writer(const std::string& path) {
+  if (!path.empty()) out_.open(path);
+}
+
+void csv_writer::row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ",";
+    out_ << cells[i];
+  }
+  out_ << "\n";
+}
+
+}  // namespace dbsm::util

@@ -1,0 +1,48 @@
+// Tiny command-line flag parser for bench and example binaries.
+// Supports --name=value, --name value, and bare --bool-name.
+#ifndef DBSM_UTIL_FLAGS_HPP
+#define DBSM_UTIL_FLAGS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dbsm::util {
+
+/// Declarative flag set: declare defaults, parse argv, read typed values.
+class flag_set {
+ public:
+  /// Declares a flag with its default (as text) and a help line.
+  void declare(const std::string& name, const std::string& default_value,
+               const std::string& help);
+
+  /// Parses argv; returns false (after printing usage) on unknown flags or
+  /// --help.
+  bool parse(int argc, char** argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// True if the flag was explicitly set on the command line.
+  bool is_set(const std::string& name) const;
+
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct entry {
+    std::string value;
+    std::string default_value;
+    std::string help;
+    bool set_explicitly = false;
+  };
+  const entry& find(const std::string& name) const;
+
+  std::map<std::string, entry> entries_;
+};
+
+}  // namespace dbsm::util
+
+#endif  // DBSM_UTIL_FLAGS_HPP

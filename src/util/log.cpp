@@ -1,0 +1,30 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace dbsm::util {
+
+namespace {
+log_level g_level = log_level::warn;
+
+const char* level_name(log_level lvl) {
+  switch (lvl) {
+    case log_level::debug: return "debug";
+    case log_level::info: return "info";
+    case log_level::warn: return "warn";
+    case log_level::error: return "error";
+    case log_level::off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+log_level get_log_level() { return g_level; }
+void set_log_level(log_level lvl) { g_level = lvl; }
+
+void log_line(log_level lvl, const std::string& tag, const std::string& msg) {
+  std::fprintf(stderr, "[%s] [%s] %s\n", level_name(lvl), tag.c_str(),
+               msg.c_str());
+}
+
+}  // namespace dbsm::util

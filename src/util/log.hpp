@@ -1,0 +1,34 @@
+// Leveled, component-tagged logging. The simulation logs protocol events
+// (the paper's tcpdump-style observability) when enabled; benches keep it
+// off so runs stay fast.
+#ifndef DBSM_UTIL_LOG_HPP
+#define DBSM_UTIL_LOG_HPP
+
+#include <sstream>
+#include <string>
+
+namespace dbsm::util {
+
+enum class log_level { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global minimum level; messages below it are compiled to a cheap check.
+log_level get_log_level();
+void set_log_level(log_level lvl);
+
+/// Writes one line to stderr: "[level] [tag] message".
+void log_line(log_level lvl, const std::string& tag, const std::string& msg);
+
+}  // namespace dbsm::util
+
+#define DBSM_LOG(lvl, tag, stream_expr)                                  \
+  do {                                                                   \
+    if (static_cast<int>(::dbsm::util::log_level::lvl) >=                \
+        static_cast<int>(::dbsm::util::get_log_level())) {               \
+      std::ostringstream dbsm_log_os;                                    \
+      dbsm_log_os << stream_expr;                                        \
+      ::dbsm::util::log_line(::dbsm::util::log_level::lvl, (tag),        \
+                             dbsm_log_os.str());                         \
+    }                                                                    \
+  } while (false)
+
+#endif  // DBSM_UTIL_LOG_HPP

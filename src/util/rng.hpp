@@ -1,0 +1,61 @@
+// Deterministic random number generation (xoshiro256**, splitmix64 seeded).
+//
+// Every stochastic component of the workbench owns its own rng forked from a
+// single experiment seed, so adding events to one component never perturbs
+// the random stream of another — runs are reproducible bit-for-bit.
+#ifndef DBSM_UTIL_RNG_HPP
+#define DBSM_UTIL_RNG_HPP
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dbsm::util {
+
+/// xoshiro256** pseudo-random generator with convenience distributions.
+class rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (p clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (>0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Box–Muller, one spare cached).
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Derives an independent generator; the child stream is a pure function
+  /// of (parent seed, tag), not of how much the parent has been used.
+  rng fork(std::string_view tag) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t origin_seed_ = 0;
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// splitmix64 step; exposed because deterministic hashing reuses it.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stable 64-bit hash of a byte string (FNV-1a), for fork tags.
+std::uint64_t stable_hash(std::string_view s);
+
+}  // namespace dbsm::util
+
+#endif  // DBSM_UTIL_RNG_HPP

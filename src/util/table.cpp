@@ -1,0 +1,61 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dbsm::util {
+
+void text_table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void text_table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::to_string() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      width[i] = std::max(width[i], r[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      if (i) os << "  ";
+      // First column left-aligned (labels), rest right-aligned (numbers).
+      if (i == 0) {
+        os << cell << std::string(width[i] - cell.size(), ' ');
+      } else {
+        os << std::string(width[i] - cell.size(), ' ') << cell;
+      }
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t i = 0; i < ncols; ++i) rule += width[i] + (i ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt(std::int64_t v) { return std::to_string(v); }
+std::string fmt(std::size_t v) { return std::to_string(v); }
+
+}  // namespace dbsm::util

@@ -1,0 +1,36 @@
+// Aligned text tables for printing paper-style result rows.
+#ifndef DBSM_UTIL_TABLE_HPP
+#define DBSM_UTIL_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace dbsm::util {
+
+/// Builds a column-aligned plain-text table (right-aligned numeric cells).
+class text_table {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cols);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with two-space column separation and a rule under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double v, int digits = 2);
+
+/// Formats an integer count.
+std::string fmt(std::int64_t v);
+std::string fmt(std::size_t v);
+
+}  // namespace dbsm::util
+
+#endif  // DBSM_UTIL_TABLE_HPP

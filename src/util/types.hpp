@@ -1,0 +1,46 @@
+// Fundamental scalar types shared by the whole workbench.
+#ifndef DBSM_UTIL_TYPES_HPP
+#define DBSM_UTIL_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace dbsm {
+
+/// Simulated time, in nanoseconds since the start of the simulation.
+using sim_time = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using sim_duration = std::int64_t;
+
+constexpr sim_duration nanoseconds(std::int64_t n) { return n; }
+constexpr sim_duration microseconds(std::int64_t n) { return n * 1'000; }
+constexpr sim_duration milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr sim_duration seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Fractional constructors (useful for computed delays).
+constexpr sim_duration from_seconds(double s) {
+  return static_cast<sim_duration>(s * 1e9);
+}
+constexpr sim_duration from_millis(double ms) {
+  return static_cast<sim_duration>(ms * 1e6);
+}
+constexpr sim_duration from_micros(double us) {
+  return static_cast<sim_duration>(us * 1e3);
+}
+
+constexpr double to_seconds(sim_duration d) { return static_cast<double>(d) / 1e9; }
+constexpr double to_millis(sim_duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_micros(sim_duration d) { return static_cast<double>(d) / 1e3; }
+
+/// A point in time that is never reached.
+constexpr sim_time time_never = std::numeric_limits<sim_time>::max();
+
+/// Identifies one node (host / replica / process) in the system.
+using node_id = std::uint32_t;
+
+constexpr node_id invalid_node = std::numeric_limits<node_id>::max();
+
+}  // namespace dbsm
+
+#endif  // DBSM_UTIL_TYPES_HPP

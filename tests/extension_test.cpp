@@ -1,0 +1,113 @@
+// Tests of the extension features: partial replication (§6/[24]), the
+// dedicated sequencer (§5.3 mitigation), WAN deployment, and the read-set
+// escalation toggle.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace dbsm::core {
+namespace {
+
+experiment_config base(unsigned sites, unsigned clients) {
+  experiment_config cfg;
+  cfg.sites = sites;
+  cfg.clients = clients;
+  cfg.target_responses = 400;
+  cfg.max_sim_time = seconds(600);
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(partial_replication, reduces_disk_load_and_stays_safe) {
+  auto full_cfg = base(4, 60);
+  auto full = run_experiment(full_cfg);
+
+  auto partial_cfg = base(4, 60);
+  partial_cfg.replication_degree = 2;
+  auto partial = run_experiment(partial_cfg);
+
+  EXPECT_TRUE(full.safety.ok);
+  EXPECT_TRUE(partial.safety.ok) << partial.safety.detail;
+  // Each update is applied at 2 of 4 sites instead of all 4: per-site
+  // disk usage must drop substantially.
+  EXPECT_LT(partial.disk_utilization, full.disk_utilization * 0.8);
+  // Throughput must not collapse.
+  EXPECT_GT(partial.tpm(), full.tpm() * 0.8);
+}
+
+TEST(partial_replication, commit_logs_still_identical_everywhere) {
+  // Certification remains global even when application is partial: every
+  // site logs the same committed sequence.
+  auto cfg = base(3, 45);
+  cfg.replication_degree = 1;  // origin-only application
+  auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.safety.ok) << r.safety.detail;
+  ASSERT_EQ(r.commit_logs.size(), 3u);
+  EXPECT_GT(r.safety.common_prefix, 50u);
+}
+
+TEST(dedicated_sequencer, extra_site_serves_no_clients) {
+  auto cfg = base(3, 45);
+  cfg.dedicated_sequencer = true;
+  auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.safety.ok) << r.safety.detail;
+  // Four sites participate in the protocol (logs from all of them).
+  ASSERT_EQ(r.commit_logs.size(), 4u);
+  EXPECT_GT(r.stats.total_committed(), 200u);
+}
+
+TEST(wan_cluster, replicates_with_unicast_fanout) {
+  auto cfg = base(3, 45);
+  cfg.use_wan = true;
+  cfg.wan.default_latency = milliseconds(20);
+  cfg.gcs.nak_delay = milliseconds(18);
+  auto r = run_experiment(cfg);
+  EXPECT_TRUE(r.safety.ok) << r.safety.detail;
+  EXPECT_GT(r.stats.total_committed(), 200u);
+  // Certification pays at least one WAN round trip.
+  EXPECT_GT(r.cert_latency_ms.quantile(0.5), 35.0);
+}
+
+TEST(wan_cluster, update_latency_grows_with_distance_reads_do_not) {
+  auto near_cfg = base(3, 45);
+  near_cfg.use_wan = true;
+  near_cfg.wan.default_latency = milliseconds(5);
+  auto near_r = run_experiment(near_cfg);
+
+  auto far_cfg = base(3, 45);
+  far_cfg.use_wan = true;
+  far_cfg.wan.default_latency = milliseconds(40);
+  far_cfg.gcs.nak_delay = milliseconds(30);
+  auto far_r = run_experiment(far_cfg);
+
+  EXPECT_GT(far_r.cert_latency_ms.quantile(0.5),
+            near_r.cert_latency_ms.quantile(0.5) + 50.0);
+  // Read-only latency is local in both (§5.1).
+  const auto& near_ro = near_r.stats.of(tpcc::c_orderstatus_short);
+  const auto& far_ro = far_r.stats.of(tpcc::c_orderstatus_short);
+  if (near_ro.commit_latency_ms.size() > 3 &&
+      far_ro.commit_latency_ms.size() > 3) {
+    EXPECT_LT(far_ro.commit_latency_ms.quantile(0.5),
+              near_ro.commit_latency_ms.quantile(0.5) + 20.0);
+  }
+}
+
+TEST(escalation_toggle, disabling_removes_scan_conflicts) {
+  auto on_cfg = base(3, 60);
+  on_cfg.target_responses = 1200;
+  auto on = run_experiment(on_cfg);
+
+  auto off_cfg = base(3, 60);
+  off_cfg.target_responses = 1200;
+  off_cfg.profile.escalate_scans = false;
+  auto off = run_experiment(off_cfg);
+
+  EXPECT_TRUE(on.safety.ok);
+  EXPECT_TRUE(off.safety.ok);
+  // orderstatus(long) aborts only through the escalated scan channel.
+  EXPECT_LE(off.stats.of(tpcc::c_orderstatus_long).aborted(),
+            on.stats.of(tpcc::c_orderstatus_long).aborted());
+}
+
+}  // namespace
+}  // namespace dbsm::core

@@ -1,0 +1,108 @@
+// A scripted env for protocol unit tests: deterministic virtual time,
+// manual timer firing, and full interception of outgoing datagrams — the
+// unit-test analogue of the paper's fault injection point ("intercepting
+// calls in and out of the runtime").
+#ifndef DBSM_TESTS_FAKE_ENV_HPP
+#define DBSM_TESTS_FAKE_ENV_HPP
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "csrt/env.hpp"
+
+namespace dbsm::test {
+
+class fake_env final : public csrt::env {
+ public:
+  struct sent {
+    node_id to = invalid_node;  // invalid_node == multicast
+    util::shared_bytes payload;
+  };
+
+  fake_env(node_id self, std::vector<node_id> peers)
+      : self_(self), peers_(std::move(peers)), rng_(self + 1) {}
+
+  // --- env interface ---
+  node_id self() const override { return self_; }
+  const std::vector<node_id>& peers() const override { return peers_; }
+  sim_time now() override { return now_; }
+  csrt::timer_id set_timer(sim_duration d,
+                           std::function<void()> fn) override {
+    const csrt::timer_id id = next_timer_++;
+    timers_[id] = {now_ + d, std::move(fn)};
+    return id;
+  }
+  bool cancel_timer(csrt::timer_id id) override {
+    return timers_.erase(id) > 0;
+  }
+  void send(node_id to, util::shared_bytes msg) override {
+    outbox.push_back({to, std::move(msg)});
+  }
+  void multicast(util::shared_bytes msg) override {
+    outbox.push_back({invalid_node, std::move(msg)});
+  }
+  void charge(sim_duration cost) override { charged += cost; }
+  void set_handler(csrt::msg_handler h) override { handler_ = std::move(h); }
+  void post(std::function<void()> fn) override { fn(); }  // immediate
+  util::rng& random() override { return rng_; }
+  std::size_t max_datagram() const override { return 1400; }
+
+  // --- test controls ---
+
+  /// Delivers a raw datagram to the registered handler.
+  void deliver(node_id from, util::shared_bytes raw) {
+    if (handler_) handler_(from, raw);
+  }
+
+  /// Advances virtual time, firing due timers in deadline order.
+  void advance(sim_duration d) {
+    const sim_time limit = now_ + d;
+    for (;;) {
+      csrt::timer_id best = 0;
+      sim_time best_at = limit + 1;
+      for (const auto& [id, t] : timers_) {
+        if (t.at <= limit && t.at < best_at) {
+          best = id;
+          best_at = t.at;
+        }
+      }
+      if (best == 0) break;
+      auto fn = std::move(timers_.at(best).fn);
+      timers_.erase(best);
+      now_ = best_at;
+      fn();
+    }
+    now_ = limit;
+  }
+
+  /// Drains and returns everything sent so far.
+  std::vector<sent> take_outbox() {
+    std::vector<sent> out(outbox.begin(), outbox.end());
+    outbox.clear();
+    return out;
+  }
+
+  std::size_t pending_timers() const { return timers_.size(); }
+
+  std::deque<sent> outbox;
+  sim_duration charged = 0;
+
+ private:
+  struct timer {
+    sim_time at;
+    std::function<void()> fn;
+  };
+
+  node_id self_;
+  std::vector<node_id> peers_;
+  util::rng rng_;
+  sim_time now_ = 0;
+  csrt::timer_id next_timer_ = 1;
+  std::map<csrt::timer_id, timer> timers_;
+  csrt::msg_handler handler_;
+};
+
+}  // namespace dbsm::test
+
+#endif  // DBSM_TESTS_FAKE_ENV_HPP

@@ -1,0 +1,216 @@
+// Unit tests of group-communication building blocks: wire codecs,
+// stability gossip rounds, flow control, failure detection, assignment
+// batches.
+#include <gtest/gtest.h>
+
+#include "gcs/failure_detector.hpp"
+#include "gcs/flow_control.hpp"
+#include "gcs/sequencer.hpp"
+#include "gcs/stability.hpp"
+#include "gcs/wire.hpp"
+
+namespace dbsm::gcs {
+namespace {
+
+util::shared_bytes bytes_of(std::size_t n) {
+  util::buffer_writer w;
+  w.put_padding(n);
+  return w.take();
+}
+
+TEST(wire, data_round_trip) {
+  data_msg m;
+  m.hdr = {msg_type::data, 7, 3};
+  m.dgram_seq = 100;
+  m.app_seq = 42;
+  m.frag_idx = 1;
+  m.frag_cnt = 3;
+  m.payload = bytes_of(50);
+  const auto raw = encode(m);
+  const data_msg d = decode_data(raw);
+  EXPECT_EQ(d.hdr.view_id, 7u);
+  EXPECT_EQ(d.hdr.sender, 3u);
+  EXPECT_EQ(d.dgram_seq, 100u);
+  EXPECT_EQ(d.app_seq, 42u);
+  EXPECT_EQ(d.frag_idx, 1);
+  EXPECT_EQ(d.frag_cnt, 3);
+  EXPECT_EQ(d.payload->size(), 50u);
+}
+
+TEST(wire, nak_and_stab_round_trip) {
+  nak_msg n;
+  n.hdr = {msg_type::nak, 1, 2};
+  n.target_sender = 9;
+  n.missing = {4, 5, 9};
+  const nak_msg n2 = decode_nak(encode(n));
+  EXPECT_EQ(n2.target_sender, 9u);
+  EXPECT_EQ(n2.missing, n.missing);
+
+  stab_msg s;
+  s.hdr = {msg_type::stab, 1, 0};
+  s.round = 12;
+  s.voters_bitmap = 0b101;
+  s.stable = {1, 2, 3};
+  s.min_received = {4, 5, 6};
+  const stab_msg s2 = decode_stab(encode(s));
+  EXPECT_EQ(s2.round, 12u);
+  EXPECT_EQ(s2.voters_bitmap, 0b101u);
+  EXPECT_EQ(s2.stable, s.stable);
+  EXPECT_EQ(s2.min_received, s.min_received);
+}
+
+TEST(wire, view_messages_round_trip) {
+  view_cut_msg c;
+  c.hdr = {msg_type::view_cut, 3, 1};
+  c.new_view_id = 4;
+  c.new_members = {0, 2};
+  c.cut = {10, 20, 30};
+  c.sources = {0, 2, 2};
+  const view_cut_msg c2 = decode_view_cut(encode(c));
+  EXPECT_EQ(c2.new_view_id, 4u);
+  EXPECT_EQ(c2.new_members, c.new_members);
+  EXPECT_EQ(c2.cut, c.cut);
+  EXPECT_EQ(c2.sources, c.sources);
+}
+
+TEST(wire, type_mismatch_throws) {
+  heartbeat_msg hb;
+  hb.hdr = {msg_type::heartbeat, 1, 0};
+  EXPECT_THROW(decode_data(encode(hb)), invariant_violation);
+}
+
+TEST(assignments, batch_round_trip) {
+  std::vector<assignment> as{{1, 10, 100}, {2, 20, 101}};
+  const auto decoded = decode_assignments(encode_assignments(as));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].sender, 1u);
+  EXPECT_EQ(decoded[1].global_seq, 101u);
+}
+
+// ---------- stability ----------
+
+TEST(stability, round_completes_when_all_vote) {
+  // Three members; drive gossip by hand.
+  stability_tracker t0({0, 1, 2}, 0);
+  stability_tracker t1({0, 1, 2}, 1);
+  stability_tracker t2({0, 1, 2}, 2);
+  t0.set_local_prefixes({5, 3, 7});
+  t1.set_local_prefixes({4, 3, 9});
+  t2.set_local_prefixes({5, 2, 9});
+
+  t1.merge(t0.make_gossip(1));
+  t2.merge(t1.make_gossip(1));
+  // After t2 merges, all three votes are in: S = min per column.
+  EXPECT_EQ(t2.stable(), (std::vector<std::uint64_t>{4, 2, 7}));
+  EXPECT_EQ(t2.rounds_completed(), 1u);
+  // S propagates back via gossip even to processes in older rounds.
+  t0.merge(t2.make_gossip(1));
+  EXPECT_EQ(t0.stable(), (std::vector<std::uint64_t>{4, 2, 7}));
+}
+
+TEST(stability, only_contiguous_prefixes_enter_m) {
+  // The tracker takes prefixes as given — receivers must pass contiguous
+  // prefixes; a lagging member caps S for everyone (§5.3 behaviour).
+  stability_tracker t0({0, 1}, 0);
+  stability_tracker t1({0, 1}, 1);
+  t0.set_local_prefixes({100, 100});
+  t1.set_local_prefixes({2, 100});  // gap at the start of sender 0
+  t1.merge(t0.make_gossip(1));
+  EXPECT_EQ(t1.stable()[0], 2u);
+  EXPECT_EQ(t1.stable()[1], 100u);
+}
+
+TEST(stability, repeated_rounds_advance_monotonically) {
+  stability_tracker a({0, 1}, 0);
+  stability_tracker b({0, 1}, 1);
+  std::vector<std::uint64_t> sa{0, 0}, sb{0, 0};
+  for (int round = 1; round <= 10; ++round) {
+    a.set_local_prefixes({static_cast<std::uint64_t>(10 * round),
+                          static_cast<std::uint64_t>(10 * round)});
+    b.set_local_prefixes({static_cast<std::uint64_t>(10 * round - 5),
+                          static_cast<std::uint64_t>(10 * round)});
+    b.merge(a.make_gossip(1));
+    a.merge(b.make_gossip(1));
+    EXPECT_GE(a.stable()[0], sa[0]);
+    EXPECT_GE(a.stable()[1], sa[1]);
+    sa = a.stable();
+    sb = b.stable();
+  }
+  EXPECT_GT(sa[0], 0u);
+}
+
+TEST(stability, initial_stable_seed) {
+  stability_tracker t({0, 1}, 0, {7, 9});
+  EXPECT_EQ(t.stable(), (std::vector<std::uint64_t>{7, 9}));
+}
+
+// ---------- flow control ----------
+
+TEST(flow_control, token_bucket_rate_limits) {
+  token_bucket b(1000.0, 100);  // 1000 B/s, 100 B burst
+  EXPECT_TRUE(b.try_consume(0, 100));
+  EXPECT_FALSE(b.try_consume(0, 1));
+  // After 50 ms, 50 bytes accumulated.
+  EXPECT_TRUE(b.try_consume(milliseconds(50), 50));
+  EXPECT_FALSE(b.try_consume(milliseconds(50), 1));
+  const sim_duration wait = b.wait_time(milliseconds(50), 10);
+  EXPECT_GT(wait, milliseconds(9));
+  EXPECT_LT(wait, milliseconds(11));
+}
+
+TEST(flow_control, token_bucket_caps_burst) {
+  token_bucket b(1000.0, 100);
+  ASSERT_TRUE(b.try_consume(0, 100));
+  // A long idle period must not accumulate more than the burst.
+  EXPECT_TRUE(b.try_consume(seconds(100), 100));
+  EXPECT_FALSE(b.try_consume(seconds(100), 1));
+}
+
+TEST(flow_control, buffer_quota_byte_accounting) {
+  buffer_quota q(100, 1000);
+  EXPECT_TRUE(q.fits(1000));
+  q.add(600);
+  EXPECT_TRUE(q.fits(400));
+  EXPECT_FALSE(q.fits(401));
+  q.remove(600);
+  EXPECT_EQ(q.used(), 0u);
+  EXPECT_THROW(q.remove(1), invariant_violation);
+}
+
+TEST(flow_control, buffer_quota_slot_accounting) {
+  // Message slots bind before bytes: the sequencer sends many small
+  // ordering messages and exhausts its share by count (§5.3).
+  buffer_quota q(3, 1 << 20);
+  q.add(10);
+  q.add(10);
+  q.add(10);
+  EXPECT_FALSE(q.fits(10));
+  EXPECT_EQ(q.used_msgs(), 3u);
+  q.remove(10);
+  EXPECT_TRUE(q.fits(10));
+}
+
+// ---------- failure detector ----------
+
+TEST(failure_detector, suspects_after_timeout) {
+  failure_detector fd({0, 1, 2}, 0, milliseconds(100), 0);
+  EXPECT_TRUE(fd.suspects(milliseconds(50)).empty());
+  fd.heard_from(1, milliseconds(80));
+  const auto sus = fd.suspects(milliseconds(150));
+  ASSERT_EQ(sus.size(), 1u);
+  EXPECT_EQ(sus[0], 2u);
+  EXPECT_FALSE(fd.is_suspect(1, milliseconds(150)));
+  EXPECT_TRUE(fd.is_suspect(2, milliseconds(150)));
+  // Never suspects self.
+  EXPECT_FALSE(fd.is_suspect(0, seconds(10)));
+}
+
+TEST(failure_detector, reset_reseeds) {
+  failure_detector fd({0, 1}, 0, milliseconds(100), 0);
+  EXPECT_TRUE(fd.is_suspect(1, milliseconds(200)));
+  fd.reset({0, 1}, milliseconds(200));
+  EXPECT_FALSE(fd.is_suspect(1, milliseconds(250)));
+}
+
+}  // namespace
+}  // namespace dbsm::gcs

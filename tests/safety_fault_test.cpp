@@ -1,0 +1,140 @@
+// The paper's §5.3 safety property as a parameterized test: under every
+// fault type (clock drift, scheduling latency, random loss, bursty loss,
+// crash — and combinations), all operational sites commit exactly the same
+// sequence of transactions.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace dbsm::core {
+namespace {
+
+struct fault_case {
+  const char* name;
+  fault::plan plan;
+  unsigned sites;
+  unsigned clients;
+};
+
+fault_case make_case(const char* name, fault::plan p, unsigned sites = 3,
+                     unsigned clients = 30) {
+  return fault_case{name, std::move(p), sites, clients};
+}
+
+std::vector<fault_case> all_cases() {
+  std::vector<fault_case> cases;
+  cases.push_back(make_case("no_faults", {}));
+  {
+    fault::plan p;
+    p.random_loss = 0.05;
+    cases.push_back(make_case("random_loss_5", p));
+  }
+  {
+    fault::plan p;
+    p.random_loss = 0.15;
+    cases.push_back(make_case("random_loss_15", p));
+  }
+  {
+    fault::plan p;
+    p.bursty_loss = 0.05;
+    p.burst_len = 5;
+    cases.push_back(make_case("bursty_loss_5", p));
+  }
+  {
+    fault::plan p;
+    p.clock_drift = 0.10;
+    cases.push_back(make_case("clock_drift_10pct", p));
+  }
+  {
+    fault::plan p;
+    p.sched_latency_max = milliseconds(5);
+    cases.push_back(make_case("sched_latency_5ms", p));
+  }
+  {
+    fault::plan p;
+    p.crashes.push_back({2, seconds(20)});
+    cases.push_back(make_case("crash_one_site", p));
+  }
+  {
+    fault::plan p;
+    p.random_loss = 0.05;
+    p.crashes.push_back({1, seconds(20)});
+    cases.push_back(make_case("crash_under_loss", p, 4, 40));
+  }
+  {
+    fault::plan p;
+    p.clock_drift = 0.05;
+    p.sched_latency_max = milliseconds(2);
+    cases.push_back(make_case("drift_plus_latency", p));
+  }
+  return cases;
+}
+
+class safety_under_faults : public ::testing::TestWithParam<fault_case> {};
+
+TEST_P(safety_under_faults, operational_sites_agree) {
+  const fault_case& fc = GetParam();
+  experiment_config cfg;
+  cfg.sites = fc.sites;
+  cfg.cpus_per_site = 1;
+  cfg.clients = fc.clients;
+  cfg.target_responses = 250;
+  cfg.max_sim_time = seconds(400);
+  cfg.seed = 1234;
+  cfg.faults = fc.plan;
+
+  const auto result = run_experiment(cfg);
+
+  // Safety: identical committed sequences (§5.3).
+  EXPECT_TRUE(result.safety.ok) << fc.name << ": " << result.safety.detail;
+  // Liveness: the system made progress despite the faults.
+  EXPECT_GT(result.stats.total_committed(), 50u) << fc.name;
+  EXPECT_GT(result.safety.common_prefix, 10u) << fc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    fault_types, safety_under_faults, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<fault_case>& info) {
+      return info.param.name;
+    });
+
+TEST(safety_checker, detects_divergence) {
+  std::vector<std::vector<std::uint64_t>> logs{{1, 2, 3}, {1, 2, 4}};
+  const auto report = check_commit_logs(logs);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.common_prefix, 2u);
+}
+
+TEST(safety_checker, accepts_prefix_lag) {
+  std::vector<std::vector<std::uint64_t>> logs{{1, 2, 3}, {1, 2}, {1, 2, 3}};
+  const auto report = check_commit_logs(logs);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.common_prefix, 2u);
+}
+
+TEST(safety_fault, loss_increases_abort_rate) {
+  // Table 2's direction: random loss raises abort rates noticeably more
+  // than bursty loss of the same average rate.
+  experiment_config base;
+  base.sites = 3;
+  base.clients = 60;
+  base.target_responses = 1000;
+  base.max_sim_time = seconds(600);
+  base.seed = 5;
+
+  auto none = run_experiment(base);
+
+  auto random_cfg = base;
+  random_cfg.faults.random_loss = 0.05;
+  auto random = run_experiment(random_cfg);
+
+  EXPECT_TRUE(none.safety.ok);
+  EXPECT_TRUE(random.safety.ok);
+  EXPECT_GE(random.stats.abort_rate_pct(),
+            none.stats.abort_rate_pct());
+  // Loss engages retransmission machinery.
+  EXPECT_GT(random.retransmissions, none.retransmissions);
+}
+
+}  // namespace
+}  // namespace dbsm::core

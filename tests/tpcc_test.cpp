@@ -1,0 +1,263 @@
+// Tests of the TPC-C workload generator and client model (§3.2).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cert/rwset.hpp"
+#include "sim/simulator.hpp"
+#include "tpcc/client.hpp"
+#include "tpcc/schema.hpp"
+#include "tpcc/workload.hpp"
+
+namespace dbsm::tpcc {
+namespace {
+
+workload make_load(unsigned warehouses = 5, std::uint64_t seed = 11) {
+  return workload(workload_profile::pentium3_1ghz(), warehouses,
+                  util::rng(seed));
+}
+
+TEST(schema, scaling_rule) {
+  EXPECT_EQ(warehouses_for_clients(10), 1u);
+  EXPECT_EQ(warehouses_for_clients(11), 2u);
+  EXPECT_EQ(warehouses_for_clients(2000), 200u);
+}
+
+TEST(schema, tuple_sizes_span_paper_range) {
+  // "each ranging from 8 to 655 bytes" (§3.2).
+  EXPECT_EQ(tuple_bytes(table::neworder), 8u);
+  EXPECT_EQ(tuple_bytes(table::customer), 655u);
+}
+
+TEST(workload, mix_fractions) {
+  workload load = make_load(10, 3);
+  std::map<db::txn_class, int> count;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto req = load.next(static_cast<std::uint32_t>(i % 10),
+                         static_cast<std::uint32_t>(i % 10));
+    ++count[req.cls];
+  }
+  EXPECT_NEAR(count[c_neworder] / double(n), 0.44, 0.02);
+  EXPECT_NEAR((count[c_payment_long] + count[c_payment_short]) / double(n),
+              0.44, 0.02);
+  // 60/40 long/short split of payment.
+  EXPECT_NEAR(count[c_payment_long] /
+                  double(count[c_payment_long] + count[c_payment_short]),
+              0.60, 0.03);
+  EXPECT_NEAR(count[c_delivery] / double(n), 0.04, 0.01);
+  EXPECT_NEAR(count[c_stocklevel] / double(n), 0.04, 0.01);
+}
+
+TEST(workload, neworder_shape) {
+  workload load = make_load();
+  auto req = load.make(c_neworder, 2, 0);
+  EXPECT_FALSE(req.read_only());
+  // Writes district (next_o_id) and 5..15 stock rows plus inserts.
+  unsigned stock_writes = 0, district_writes = 0, orderline_writes = 0;
+  for (db::item_id it : req.write_set) {
+    if (db::is_granule(it)) continue;
+    switch (static_cast<table>(db::item_table(it))) {
+      case table::stock: ++stock_writes; break;
+      case table::district: ++district_writes; break;
+      case table::orderline: ++orderline_writes; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(district_writes, 1u);
+  EXPECT_GE(stock_writes, 5u);
+  EXPECT_LE(stock_writes, 15u);
+  EXPECT_EQ(orderline_writes, stock_writes);
+  // Sets are normalized.
+  EXPECT_TRUE(std::is_sorted(req.read_set.begin(), req.read_set.end()));
+  EXPECT_TRUE(std::is_sorted(req.write_set.begin(), req.write_set.end()));
+  // The warehouse tuple is read but NOT written by neworder.
+  const db::item_id wh = tuple_id(table::warehouse, 2, 0, 0);
+  EXPECT_TRUE(std::binary_search(req.read_set.begin(), req.read_set.end(),
+                                 wh));
+  EXPECT_FALSE(std::binary_search(req.write_set.begin(),
+                                  req.write_set.end(), wh));
+}
+
+TEST(workload, payment_writes_warehouse_hotspot) {
+  workload load = make_load();
+  auto req = load.make(c_payment_short, 3, 0);
+  const db::item_id wh = tuple_id(table::warehouse, 3, 0, 0);
+  EXPECT_TRUE(std::binary_search(req.write_set.begin(), req.write_set.end(),
+                                 wh));
+  // Two payments at the same warehouse conflict write-write.
+  auto req2 = load.make(c_payment_short, 3, 0);
+  EXPECT_TRUE(cert::write_write_conflicts(req.write_set, req2.write_set));
+}
+
+TEST(workload, by_name_scan_reads_customer_granule) {
+  workload load = make_load();
+  auto pay = load.make(c_payment_long, 1, 0);
+  bool has_granule = false;
+  for (db::item_id it : pay.read_set) {
+    if (db::is_granule(it) &&
+        db::item_table(it) == static_cast<unsigned>(table::customer))
+      has_granule = true;
+  }
+  EXPECT_TRUE(has_granule);
+  // The granule read conflicts with any payment writing a customer of the
+  // same warehouse — but only through the read set, not write-write.
+  auto pay2 = load.make(c_payment_short, 1, 0);
+  EXPECT_TRUE(cert::intersects(pay.read_set, pay2.write_set));
+}
+
+TEST(workload, orderstatus_long_vs_short_conflict_profile) {
+  workload load = make_load(1, 5);
+  auto pay = load.make(c_payment_short, 0, 0);
+  int long_conflicts = 0, short_conflicts = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto os_long = load.make(c_orderstatus_long, 0, 0);
+    auto os_short = load.make(c_orderstatus_short, 0, 0);
+    EXPECT_TRUE(os_long.read_only());
+    EXPECT_TRUE(os_short.read_only());
+    if (cert::intersects(os_long.read_set, pay.write_set)) ++long_conflicts;
+    if (cert::intersects(os_short.read_set, pay.write_set))
+      ++short_conflicts;
+  }
+  // The by-name variant always sees the warehouse-level customer granule;
+  // the by-id variant almost never hits the same customer tuple.
+  EXPECT_EQ(long_conflicts, 200);
+  EXPECT_LT(short_conflicts, 10);
+}
+
+TEST(workload, stocklevel_point_reads_no_escalation) {
+  workload load = make_load(2, 6);
+  auto sl = load.make(c_stocklevel, 0, 0);
+  EXPECT_TRUE(sl.read_only());
+  // Indexed lookups stay at tuple granularity: no granule ids at all, so
+  // stocklevel can only conflict on the exact tuples it read — which is
+  // why Table 1 reports 0.00% for it.
+  for (db::item_id it : sl.read_set) {
+    EXPECT_FALSE(db::is_granule(it));
+  }
+  // A neworder in a different warehouse can never intersect it.
+  auto no_other = load.make(c_neworder, 1, 0);
+  EXPECT_FALSE(cert::intersects(sl.read_set, no_other.write_set));
+}
+
+TEST(workload, concurrent_deliveries_target_identical_rows) {
+  // The oldest undelivered order is shared database state: two deliveries
+  // generated at the same instant (possibly at different sites) pick the
+  // same rows and conflict write-write; later ones move on.
+  workload load_a = make_load(5, 30);
+  workload load_b = make_load(5, 31);  // different site (different rng)
+  load_a.set_now(seconds(100));
+  load_b.set_now(seconds(100));
+  auto d1 = load_a.make(c_delivery, 4, 0);
+  auto d2 = load_b.make(c_delivery, 4, 0);
+  EXPECT_TRUE(cert::write_write_conflicts(d1.write_set, d2.write_set));
+  EXPECT_FALSE(d1.read_only());
+  EXPECT_GT(d1.update_bytes, 1000u);
+
+  // Far enough apart in time, the queue head has advanced (the expected
+  // delivery rate is one order per district every ~290 s).
+  load_b.set_now(seconds(800));
+  auto d3 = load_b.make(c_delivery, 4, 0);
+  EXPECT_FALSE(cert::write_write_conflicts(d1.write_set, d3.write_set));
+}
+
+TEST(workload, order_ids_advance_per_district) {
+  workload load = make_load();
+  auto a = load.make(c_neworder, 0, 0);
+  auto b = load.make(c_neworder, 0, 0);
+  // Orders table rows must be fresh each time (no accidental write-write
+  // conflicts between unrelated neworders of different districts).
+  std::vector<db::item_id> a_orders, b_orders;
+  for (db::item_id it : a.write_set)
+    if (!db::is_granule(it) &&
+        db::item_table(it) == static_cast<unsigned>(table::orders))
+      a_orders.push_back(it);
+  for (db::item_id it : b.write_set)
+    if (!db::is_granule(it) &&
+        db::item_table(it) == static_cast<unsigned>(table::orders))
+      b_orders.push_back(it);
+  ASSERT_EQ(a_orders.size(), 1u);
+  ASSERT_EQ(b_orders.size(), 1u);
+  EXPECT_NE(a_orders[0], b_orders[0]);
+}
+
+TEST(workload, ops_script_shape) {
+  workload load = make_load();
+  auto req = load.make(c_neworder, 0, 0);
+  unsigned fetches = 0, procs = 0;
+  sim_duration total_cpu = 0;
+  for (const auto& op : req.ops) {
+    if (op.k == db::operation::kind::fetch) ++fetches;
+    if (op.k == db::operation::kind::process) {
+      ++procs;
+      total_cpu += op.cpu;
+    }
+  }
+  EXPECT_EQ(fetches, 1u);
+  EXPECT_EQ(procs, load.profile().process_slices);
+  EXPECT_GT(total_cpu, milliseconds(1));
+  EXPECT_LT(total_cpu, milliseconds(500));
+}
+
+TEST(workload, nurand_within_bounds) {
+  workload load = make_load();
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = load.nurand(1023, 0, 2999);
+    EXPECT_LT(v, 3000u);
+  }
+}
+
+TEST(client, closed_loop_issue_reply_think) {
+  sim::simulator s;
+  workload load = make_load(1, 9);
+  std::vector<sim_time> submits;
+  int inflight = 0;
+  int max_inflight = 0;
+  client::submit_fn submit = [&](db::txn_request,
+                                 std::function<void(db::txn_outcome)> done) {
+    ++inflight;
+    max_inflight = std::max(max_inflight, inflight);
+    submits.push_back(s.now());
+    s.schedule_after(milliseconds(20), [&, done] {
+      --inflight;
+      done(db::txn_outcome::committed);
+    });
+  };
+  int reported = 0;
+  client c(s, load, 0, 0, submit,
+           [&](const client::result& r) {
+             ++reported;
+             EXPECT_EQ(r.outcome, db::txn_outcome::committed);
+             EXPECT_EQ(r.finished - r.submitted, milliseconds(20));
+           },
+           util::rng(4));
+  c.start(0);
+  s.run_until(seconds(120));
+  EXPECT_GE(reported, 3);
+  EXPECT_EQ(max_inflight, 1);  // single-threaded client process
+  // Think time separates consecutive submissions.
+  for (std::size_t i = 1; i < submits.size(); ++i)
+    EXPECT_GT(submits[i] - submits[i - 1], milliseconds(20));
+}
+
+TEST(client, stop_ceases_issuing) {
+  sim::simulator s;
+  workload load = make_load(1, 10);
+  int submitted = 0;
+  client::submit_fn submit = [&](db::txn_request,
+                                 std::function<void(db::txn_outcome)> done) {
+    ++submitted;
+    s.schedule_after(milliseconds(1),
+                     [done] { done(db::txn_outcome::committed); });
+  };
+  client c(s, load, 0, 0, submit, {}, util::rng(4));
+  c.start(0);
+  s.schedule_at(seconds(30), [&] { c.stop(); });
+  s.run_until(seconds(300));
+  const int at_stop = submitted;
+  s.run_until(seconds(600));
+  EXPECT_EQ(submitted, at_stop);
+}
+
+}  // namespace
+}  // namespace dbsm::tpcc

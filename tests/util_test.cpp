@@ -1,0 +1,263 @@
+// Unit tests for util: rng, distributions, stats, buffers, tables, flags.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/byte_buffer.hpp"
+#include "util/check.hpp"
+#include "util/distributions.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace dbsm::util {
+namespace {
+
+TEST(rng, deterministic_and_seed_sensitive) {
+  rng a(1), b(1), c(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  rng a2(1);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next_u64() != c.next_u64()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(rng, fork_independent_of_parent_consumption) {
+  rng a(42);
+  rng fork_before = a.fork("x");
+  for (int i = 0; i < 10; ++i) a.next_u64();
+  rng fork_after = a.fork("x");
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(fork_before.next_u64(), fork_after.next_u64());
+}
+
+TEST(rng, uniform_int_bounds) {
+  rng g(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = g.uniform_int(-5, 7);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 7);
+  }
+  EXPECT_EQ(g.uniform_int(3, 3), 3);
+}
+
+TEST(rng, uniform_in_unit_interval) {
+  rng g(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(rng, exponential_mean) {
+  rng g(5);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += g.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(rng, normal_moments) {
+  rng g(6);
+  running_stats s;
+  for (int i = 0; i < 50000; ++i) s.add(g.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(distributions, constant_uniform_exponential) {
+  rng g(7);
+  auto c = constant_dist(5.0);
+  EXPECT_DOUBLE_EQ(c->sample(g), 5.0);
+  EXPECT_DOUBLE_EQ(c->mean(), 5.0);
+
+  auto u = uniform_dist(2.0, 4.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = u->sample(g);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 4.0);
+  }
+  EXPECT_DOUBLE_EQ(u->mean(), 3.0);
+
+  auto e = exponential_dist(2.0);
+  running_stats s;
+  for (int i = 0; i < 50000; ++i) s.add(e->sample(g));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+}
+
+TEST(distributions, lognormal_matches_configured_mean_and_cv) {
+  rng g(8);
+  auto d = lognormal_dist(0.020, 0.3);
+  running_stats s;
+  for (int i = 0; i < 100000; ++i) s.add(d->sample(g));
+  EXPECT_NEAR(s.mean(), 0.020, 0.001);
+  EXPECT_NEAR(s.stddev() / s.mean(), 0.3, 0.05);
+}
+
+TEST(distributions, lognormal_cap_applies) {
+  rng g(9);
+  auto d = lognormal_dist(1.0, 2.0, 1.5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LE(d->sample(g), 1.5);
+}
+
+TEST(distributions, empirical_interpolates_range) {
+  rng g(10);
+  auto d = empirical_dist({1.0, 2.0, 3.0});
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d->sample(g);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 3.0);
+  }
+  EXPECT_NEAR(d->mean(), 2.0, 1e-9);
+}
+
+TEST(distributions, mixture_weights) {
+  rng g(11);
+  auto d = mixture_dist({{1.0, constant_dist(0.0)}, {3.0, constant_dist(1.0)}});
+  running_stats s;
+  for (int i = 0; i < 40000; ++i) s.add(d->sample(g));
+  EXPECT_NEAR(s.mean(), 0.75, 0.01);
+  EXPECT_DOUBLE_EQ(d->mean(), 0.75);
+}
+
+TEST(stats, running_stats_basic) {
+  running_stats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(stats, running_stats_merge_equals_combined) {
+  running_stats a, b, all;
+  rng g(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = g.normal(5, 2);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(stats, quantiles_and_ecdf) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.ecdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.ecdf_at(100.0), 1.0);
+  EXPECT_NEAR(s.ecdf_at(50.0), 0.5, 0.01);
+}
+
+TEST(stats, qq_series_of_identical_distributions_is_diagonal) {
+  rng g(13);
+  sample_set a, b;
+  for (int i = 0; i < 20000; ++i) {
+    a.add(g.exponential(1.0));
+    b.add(g.exponential(1.0));
+  }
+  for (const auto& [x, y] : qq_series(a, b, 20)) {
+    if (x < 2.0) {
+      EXPECT_NEAR(y, x, 0.15);
+    }
+  }
+}
+
+TEST(stats, utilization_tracker_integrates) {
+  utilization_tracker t(2.0);
+  t.set_busy(0, 2.0);
+  t.set_busy(500, 1.0);
+  // [0,500): 2 busy of 2; [500,1000): 1 of 2.
+  EXPECT_NEAR(t.utilization(1000), 0.75, 1e-12);
+}
+
+TEST(byte_buffer, round_trip_all_types) {
+  buffer_writer w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_i64(-42);
+  w.put_double(3.25);
+  w.put_string("hello");
+  w.put_padding(16);
+  auto data = w.take();
+
+  buffer_reader r(data);
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0x1234);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_double(), 3.25);
+  EXPECT_EQ(r.get_string(), "hello");
+  r.skip(16);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(byte_buffer, underflow_throws) {
+  buffer_writer w;
+  w.put_u16(7);
+  auto data = w.take();
+  buffer_reader r(data);
+  r.get_u16();
+  EXPECT_THROW(r.get_u8(), invariant_violation);
+}
+
+TEST(table, renders_aligned) {
+  text_table t;
+  t.header({"name", "value"});
+  t.row({"x", "1.00"});
+  t.row({"longer", "23.50"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("23.50"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(flags, parse_forms) {
+  flag_set f;
+  f.declare("clients", "100", "number of clients");
+  f.declare("rate", "0.5", "loss rate");
+  f.declare("verbose", "false", "verbosity");
+  f.declare("name", "abc", "label");
+  const char* argv[] = {"prog", "--clients=250", "--rate", "0.75",
+                        "--verbose"};
+  ASSERT_TRUE(f.parse(5, const_cast<char**>(argv)));
+  EXPECT_EQ(f.get_int("clients"), 250);
+  EXPECT_DOUBLE_EQ(f.get_double("rate"), 0.75);
+  EXPECT_TRUE(f.get_bool("verbose"));
+  EXPECT_EQ(f.get_string("name"), "abc");
+  EXPECT_TRUE(f.is_set("clients"));
+  EXPECT_FALSE(f.is_set("name"));
+}
+
+TEST(flags, unknown_flag_rejected) {
+  flag_set f;
+  f.declare("x", "1", "");
+  const char* argv[] = {"prog", "--nope=3"};
+  EXPECT_FALSE(f.parse(2, const_cast<char**>(argv)));
+}
+
+TEST(check, macros_throw_with_context) {
+  EXPECT_THROW(
+      [] { DBSM_CHECK_MSG(1 == 2, "custom " << 42); }(),
+      invariant_violation);
+  try {
+    DBSM_CHECK_MSG(false, "needle " << 7);
+  } catch (const invariant_violation& e) {
+    EXPECT_NE(std::string(e.what()).find("needle 7"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dbsm::util
