@@ -1,0 +1,19 @@
+#include "cert/cert_index.hpp"
+
+namespace dbsm::cert {
+
+void last_writer_index::note_commit(
+    const std::vector<db::item_id>& write_set, std::uint64_t pos) {
+  for (const db::item_id id : write_set) map_for(id)[id] = pos;
+}
+
+void last_writer_index::forget_commit(
+    const std::vector<db::item_id>& write_set, std::uint64_t pos) {
+  for (const db::item_id id : write_set) {
+    auto& m = map_for(id);
+    const auto it = m.find(id);
+    if (it != m.end() && it->second == pos) m.erase(it);
+  }
+}
+
+}  // namespace dbsm::cert

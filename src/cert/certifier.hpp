@@ -1,4 +1,4 @@
-// Deterministic certification (§1, §3.3).
+// Deterministic certification (§1, §3.3), indexed.
 //
 // Fed by the total order, every replica runs the same procedure over the
 // same sequence and reaches the same commit/abort decisions — the property
@@ -15,6 +15,15 @@
 //     any committed write inside the granule.
 // Tuple-level reads still travel in the marshaled read set (message sizes
 // match the prototype, §3.3); they are simply never a conflict source.
+//
+// Implementation: instead of the historical merge scan over up to
+// `history_window` retained write sets (kept as cert/reference_certifier
+// for differential testing), certification probes an inverted last-writer
+// index (cert/cert_index.hpp): an element conflicts iff its last committed
+// writer position exceeds the snapshot. One certification is
+// O(|read_set| + |write_set|) hash probes regardless of the window.
+// Decisions are bit-identical to the reference scan; the retained history
+// ring exists only to evict stale index entries as the window slides.
 #ifndef DBSM_CERT_CERTIFIER_HPP
 #define DBSM_CERT_CERTIFIER_HPP
 
@@ -22,6 +31,7 @@
 #include <deque>
 #include <vector>
 
+#include "cert/cert_index.hpp"
 #include "cert/rwset.hpp"
 #include "util/types.hpp"
 
@@ -32,7 +42,12 @@ struct cert_config {
   /// whose snapshot predates the window aborts conservatively (identical
   /// rule — thus identical decisions — at every replica).
   std::size_t history_window = 50000;
-  /// Modeled CPU cost per set element visited during certification.
+  /// Modeled CPU cost per set element probed during certification. The
+  /// indexed certifier visits each element of the transaction's own sets
+  /// exactly once, so the modeled cost is a deterministic function of the
+  /// transaction alone — independent of the history window, like the real
+  /// work (the reference scan certifier keeps the historical
+  /// window-proportional model).
   sim_duration cost_per_element = nanoseconds(60);
   /// Fixed modeled CPU cost per certification.
   sim_duration cost_fixed = microseconds(10);
@@ -43,7 +58,8 @@ class certifier {
   explicit certifier(cert_config cfg = {});
 
   /// Certifies an update transaction at the next delivery position.
-  /// Returns true to commit (its write set then enters the history).
+  /// Returns true to commit (its write set then enters the history and
+  /// the last-writer index).
   bool certify_update(std::uint64_t begin_pos,
                       const std::vector<db::item_id>& read_set,
                       const std::vector<db::item_id>& write_set);
@@ -57,12 +73,20 @@ class certifier {
   /// transaction processed). New transactions snapshot this value.
   std::uint64_t position() const { return position_; }
 
+  /// Oldest delivery position still retained in the history window;
+  /// snapshots strictly older than `oldest_retained() - 1` abort
+  /// conservatively.
+  std::uint64_t oldest_retained() const { return oldest_retained_; }
+
   /// Modeled CPU cost of the most recent certify_* call.
   sim_duration last_cost() const { return last_cost_; }
 
   std::uint64_t commits() const { return commits_; }
   std::uint64_t aborts() const { return aborts_; }
   std::size_t history_size() const { return history_.size(); }
+  /// Live entries in the last-writer index (bounded by the window's
+  /// distinct ids plus the not-yet-drained evicted entries).
+  std::size_t index_size() const { return index_.size(); }
 
  private:
   struct entry {
@@ -70,14 +94,20 @@ class certifier {
     std::vector<db::item_id> write_set;
   };
 
-  /// Conflict scan over history entries with pos in (begin_pos, +inf).
+  /// Index probes over ids with a committed writer in (begin_pos, +inf).
   bool conflicts(std::uint64_t begin_pos,
                  const std::vector<db::item_id>& read_set,
-                 const std::vector<db::item_id>* write_set,
-                 sim_duration& cost) const;
+                 const std::vector<db::item_id>* write_set) const;
+
+  /// Removes up to `max_entries` evicted write sets' stale index entries.
+  void drain_evicted(std::size_t max_entries);
 
   cert_config cfg_;
+  last_writer_index index_;
   std::deque<entry> history_;  // ascending positions, committed only
+  /// Write sets that slid out of the window, queued for lazy index
+  /// cleanup (stale entries are decision-safe; see cert_index.hpp).
+  std::deque<entry> evicted_;
   std::uint64_t position_ = 0;
   std::uint64_t oldest_retained_ = 1;
   mutable sim_duration last_cost_ = 0;

@@ -5,7 +5,11 @@
 namespace dbsm::cert {
 
 void normalize(std::vector<db::item_id>& set) {
-  std::sort(set.begin(), set.end());
+  // Sets built by ascending scans (and already-normalized sets passing
+  // through again) are common; the O(n) sortedness check dodges the
+  // O(n log n) sort for them on the per-transaction hot path.
+  if (!std::is_sorted(set.begin(), set.end()))
+    std::sort(set.begin(), set.end());
   set.erase(std::unique(set.begin(), set.end()), set.end());
 }
 
@@ -56,6 +60,10 @@ void append_scan(std::vector<db::item_id>& out,
   if (scan_tuples.size() > threshold) {
     out.push_back(granule);
   } else {
+    // No reserve here: repeated appends into one set must keep the
+    // vector's geometric growth (an exact-size reserve per call would
+    // force a reallocation on every subsequent append). Callers that
+    // know their final size reserve up front (tpcc/workload.cpp).
     out.insert(out.end(), scan_tuples.begin(), scan_tuples.end());
   }
 }

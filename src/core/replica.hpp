@@ -7,6 +7,9 @@
 // release, reply) or abort. Remote path: certified transactions apply
 // with preemption. Read-only transactions certify locally, without
 // multicast, so their latency is unaffected by replication (§5.1).
+// Certification runs on the inverted last-writer index (cert/), so the
+// per-delivery work is O(|read_set| + |write_set|) regardless of the
+// retained history window.
 #ifndef DBSM_CORE_REPLICA_HPP
 #define DBSM_CORE_REPLICA_HPP
 

@@ -41,9 +41,9 @@ void server::submit(txn_request req, executed_fn executed, done_fn done) {
     start_execution(id);
     return;
   }
-  const auto items = pos->second.req.lock_items();
+  pos->second.req.lock_items_into(lock_scratch_);
   locks_.acquire(
-      id, items, /*certified=*/false,
+      id, lock_scratch_, /*certified=*/false,
       [this, id] {
         auto it = txns_.find(id);
         if (it == txns_.end()) return;
@@ -164,7 +164,8 @@ void server::apply_remote(const txn_request& req,
                           std::function<void()> applied) {
   const std::uint64_t id = req.id;
   const std::size_t bytes = disk_write_bytes(req, cfg_.storage.sector_bytes);
-  const auto items = req.lock_items();
+  req.lock_items_into(lock_scratch_);
+  const auto& items = lock_scratch_;
 
   auto do_apply = [this, id, bytes, applied = std::move(applied),
                    locked = !items.empty()] {

@@ -108,6 +108,9 @@ class server {
   storage storage_;
   lock_table locks_;
   std::unordered_map<std::uint64_t, active_txn> txns_;
+  /// Reused per-call buffer for lock_items_into on the submit/apply hot
+  /// paths (lock_table::acquire copies, so reuse across calls is safe).
+  std::vector<item_id> lock_scratch_;
   std::uint64_t next_epoch_ = 1;
   std::uint64_t local_started_ = 0;
   std::uint64_t remote_applied_ = 0;

@@ -48,11 +48,18 @@ struct txn_request {
   bool read_only() const { return write_set.empty(); }
 
   /// Tuples to lock / write to disk: write_set minus granule markers.
-  std::vector<item_id> lock_items() const {
-    std::vector<item_id> out;
+  /// Fills `out` (cleared first); callers on the per-transaction hot path
+  /// pass a reused scratch vector so no allocation occurs at steady state.
+  void lock_items_into(std::vector<item_id>& out) const {
+    out.clear();
     out.reserve(write_set.size());
     for (item_id it : write_set)
       if (!is_granule(it)) out.push_back(it);
+  }
+
+  std::vector<item_id> lock_items() const {
+    std::vector<item_id> out;
+    lock_items_into(out);
     return out;
   }
 };

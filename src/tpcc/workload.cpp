@@ -70,6 +70,7 @@ void workload::scan_customers(build& b, std::uint32_t w) {
     b.reads.push_back(wh_granule(table::customer, w));
     return;
   }
+  b.reads.reserve(b.reads.size() + rows);
   for (unsigned i = 0; i < rows; ++i) {
     const auto d = static_cast<std::uint32_t>(
         rng_.uniform_int(0, districts_per_warehouse - 1));
@@ -129,6 +130,10 @@ db::txn_request workload::gen_neworder(std::uint32_t w) {
   write_tuple(b, table::district, w, d, 0);  // d_next_o_id
 
   const auto ol_cnt = static_cast<unsigned>(rng_.uniform_int(5, 15));
+  // Sizes are known up front: 2 set entries per order line plus the fixed
+  // header tuples (writes double for the advertised granule markers).
+  b.reads.reserve(3 + 2 * ol_cnt);
+  b.writes.reserve(2 * (3 + ol_cnt + ol_cnt));
   for (unsigned line = 0; line < ol_cnt; ++line) {
     const std::uint32_t item = nurand(8191, 0, item_count - 1);
     const bool remote =
@@ -213,6 +218,10 @@ db::txn_request workload::gen_delivery(std::uint32_t w) {
                                    districts_per_warehouse;
   const auto advance = static_cast<std::uint32_t>(
       to_seconds(now_) * per_district_rate);
+  // Upper bound: per district 2 header reads + 15 line reads, and twice
+  // (granule markers) the 3 header writes + 15 line writes.
+  b.reads.reserve(districts_per_warehouse * 17);
+  b.writes.reserve(districts_per_warehouse * 36);
   for (std::uint32_t d = 0; d < districts_per_warehouse; ++d) {
     const std::uint32_t o = 2101 + advance;
     read_tuple(b, table::neworder, w, d, o);
@@ -236,6 +245,7 @@ db::txn_request workload::gen_stocklevel(std::uint32_t w, std::uint32_t d) {
   // The last 20 orders' lines and their stock entries — all indexed
   // point lookups, so the read set stays at tuple granularity.
   const std::uint32_t newest = next_o(w, d);
+  b.reads.reserve(1 + 20 * 2 * 15);  // ≤15 lines × (orderline + stock) × 20
   for (unsigned k = 0; k < 20; ++k) {
     const std::uint32_t o = newest > (k + 1) ? newest - (k + 1) : 1;
     const auto lines = static_cast<unsigned>(rng_.uniform_int(5, 15));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cert/certifier.hpp"
+#include "cert/reference_certifier.hpp"
 #include "cert/rwset.hpp"
 #include "cert/txn_codec.hpp"
 #include "db/item.hpp"
@@ -183,8 +184,32 @@ TEST(certifier, history_window_gc_conservative_abort) {
   EXPECT_EQ(c.history_size(), 10u);
 }
 
-TEST(certifier, cost_model_scales_with_window) {
+TEST(certifier, cost_model_is_window_independent_and_set_linear) {
+  // Indexed certification probes each element of the transaction's own
+  // sets once: the modeled cost depends only on the set sizes, never on
+  // how much history the snapshot spans.
   certifier c;
+  for (int i = 0; i < 50; ++i)
+    ASSERT_TRUE(c.certify_update(c.position(), {}, {tup(i)}));
+  c.certify_update(c.position(), {gran(9999)}, {tup(8888)});
+  const auto small_window = c.last_cost();
+  c.certify_update(0, {gran(9999)}, {tup(8887)});
+  const auto big_window = c.last_cost();
+  EXPECT_EQ(big_window, small_window);
+
+  cert_config cfg;
+  certifier d(cfg);
+  d.certify_update(0, {tup(1)}, {tup(2)});
+  const auto two_elems = d.last_cost();
+  d.certify_update(0, {tup(3), tup(4)}, {tup(5), tup(6)});
+  const auto four_elems = d.last_cost();
+  EXPECT_EQ(four_elems - two_elems, 2 * cfg.cost_per_element);
+  EXPECT_EQ(two_elems, cfg.cost_fixed + 2 * cfg.cost_per_element);
+}
+
+TEST(reference_certifier, cost_model_scales_with_window) {
+  // The reference scan keeps the historical window-proportional model.
+  reference_certifier c;
   for (int i = 0; i < 50; ++i)
     ASSERT_TRUE(c.certify_update(c.position(), {}, {tup(i)}));
   c.certify_update(c.position(), {gran(9999)}, {tup(8888)});
