@@ -33,12 +33,13 @@ latency_split collect(std::uint64_t seed, bool add_noise) {
 
   util::rng noise(seed ^ 0xabcdef);
   latency_split out;
-  for (db::txn_class c = 0; c < tpcc::num_classes; ++c) {
+  for (db::txn_class c = 0;
+       c < static_cast<db::txn_class>(result.stats.classes()); ++c) {
     const auto& samples = result.stats.of(c).commit_latency_ms;
     for (double v : samples.sorted()) {
       const double measured =
           add_noise ? v * (1.0 + noise.normal(0.0, 0.05)) : v;
-      if (tpcc::is_update_class(c)) {
+      if (result.class_is_update[c]) {
         out.update_ms.add(measured);
       } else {
         out.read_only_ms.add(measured);
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   flags.declare("csv", "", "optional CSV output path");
   if (!flags.parse(argc, argv)) return 1;
 
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto seed = flags.get_u64("seed");
   std::fprintf(stderr, "[run] simulation run (seed %llu)...\n",
                static_cast<unsigned long long>(seed));
   const latency_split sim_run = collect(seed, false);

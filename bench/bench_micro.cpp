@@ -11,6 +11,7 @@
 #include "net/lan.hpp"
 #include "sim/simulator.hpp"
 #include "tpcc/workload.hpp"
+#include "workload/kv.hpp"
 
 namespace dbsm {
 namespace {
@@ -193,6 +194,34 @@ void BM_tpcc_generate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_tpcc_generate);
+
+// ---- KV workload: request generation and the Zipf sampler ----
+
+void BM_kv_generate(benchmark::State& state) {
+  // Arg is zipf theta in percent (0 = uniform, 99 = YCSB default skew).
+  kv::kv_config cfg;
+  cfg.zipf_theta = static_cast<double>(state.range(0)) / 100.0;
+  kv::kv_workload wl(cfg);
+  wl.prepare(1, 100, util::rng(6));
+  auto src = wl.make_source({0, 0, 100}, util::rng(7));
+  for (auto _ : state) {
+    auto req = src->next(0);
+    benchmark::DoNotOptimize(req.ops.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_kv_generate)->Arg(0)->Arg(99);
+
+void BM_zipf_sample(benchmark::State& state) {
+  const kv::zipf_sampler zipf(100000,
+                              static_cast<double>(state.range(0)) / 100.0);
+  util::rng g(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(g));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_zipf_sample)->Arg(0)->Arg(99);
 
 }  // namespace
 }  // namespace dbsm

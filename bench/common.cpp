@@ -26,9 +26,8 @@ void declare_common_flags(util::flag_set& flags) {
 
 void apply_common_flags(const util::flag_set& flags,
                         core::experiment_config& cfg) {
-  cfg.target_responses =
-      static_cast<std::uint64_t>(flags.get_int("txns"));
-  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.target_responses = flags.get_u64("txns");
+  cfg.seed = flags.get_u64("seed");
   if (flags.get_bool("quick") && !flags.is_set("txns")) {
     cfg.target_responses = 1500;
   }

@@ -1,12 +1,22 @@
-// Using the replica API directly, without TPC-C: build a cluster, submit
-// hand-crafted transactions (a read-modify-write counter and an escalated
-// reporting scan), and watch certification arbitrate cross-site conflicts.
+// Bringing your own workload: implement core::workload + core::txn_source
+// and hand a factory to experiment_config — the harness drives your
+// transaction classes through the full replicated stack (clients, group
+// communication, certification, stats) exactly as it drives TPC-C.
 //
-//   $ ./custom_workload
+// The example models a tiny "counter service": clients mostly issue
+// read-modify-write increments of a small hot counter set, plus an
+// occasional escalated reporting scan over the whole table. The scan
+// reads the table granule, so certification aborts it whenever a
+// concurrent increment committed — the cross-site conflict the paper's
+// §3.3 escalation rule exists for.
+//
+//   $ ./custom_workload [--sites N] [--clients N] [--txns N] [--seed N]
 #include <cstdio>
 
 #include "cert/rwset.hpp"
-#include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
 
 using namespace dbsm;
 
@@ -14,84 +24,112 @@ namespace {
 
 // A tiny application schema: table 1 = "counters", one tuple per counter.
 constexpr unsigned counters_table = 1;
+constexpr std::uint32_t counter_count = 64;
 
-db::txn_request increment(std::uint32_t counter, sim_duration cpu) {
-  db::txn_request req;
-  const db::item_id tuple = db::make_item(counters_table, 0, 0, counter);
-  req.read_set = {tuple};
-  req.write_set = {tuple, db::make_granule(counters_table, 0, 0)};
-  cert::normalize(req.write_set);
-  req.update_bytes = 64;
-  db::operation op;
-  op.k = db::operation::kind::process;
-  op.cpu = cpu;
-  req.ops = {op};
-  return req;
-}
+enum : db::txn_class { c_increment = 0, c_report = 1, num_classes = 2 };
 
-db::txn_request report_scan(sim_duration cpu) {
-  db::txn_request req;  // read-only scan over the whole counters table
-  req.read_set = {db::make_granule(counters_table, 0, 0)};
-  db::operation op;
-  op.k = db::operation::kind::process;
-  op.cpu = cpu;
-  req.ops = {op};
-  return req;
-}
+class counter_source final : public core::txn_source {
+ public:
+  explicit counter_source(util::rng gen) : rng_(gen) {}
 
-const char* outcome_str(db::txn_outcome o) { return db::outcome_name(o); }
+  db::txn_request next(sim_time /*now*/) override {
+    db::txn_request req;
+    db::operation proc;
+    proc.k = db::operation::kind::process;
+    if (rng_.bernoulli(0.05)) {
+      // Reporting scan: escalated read of the whole counters table.
+      req.cls = c_report;
+      req.read_set = {db::make_granule(counters_table, 0, 0)};
+      proc.cpu = milliseconds(20);
+    } else {
+      // Read-modify-write of one counter; a quarter of the traffic hits
+      // counter 0 so sites race on it.
+      req.cls = c_increment;
+      const auto counter = static_cast<std::uint32_t>(
+          rng_.bernoulli(0.25) ? 0
+                               : rng_.uniform_int(1, counter_count - 1));
+      const db::item_id tuple =
+          db::make_item(counters_table, 0, 0, counter);
+      req.read_set = {tuple};
+      req.write_set = {tuple, db::make_granule(counters_table, 0, 0)};
+      cert::normalize(req.write_set);
+      req.update_bytes = 64;
+      proc.cpu = milliseconds(2);
+    }
+    req.ops = {proc};
+    return req;
+  }
+
+  double think_seconds(util::rng& gen) override {
+    return gen.exponential(1.0);
+  }
+
+ private:
+  util::rng rng_;
+};
+
+class counter_workload final : public core::workload {
+ public:
+  const char* name() const override { return "counters"; }
+  std::size_t classes() const override { return num_classes; }
+  const char* class_name(db::txn_class cls) const override {
+    return cls == c_increment ? "increment" : "report-scan";
+  }
+  bool is_update_class(db::txn_class cls) const override {
+    return cls == c_increment;
+  }
+  double mean_think_seconds() const override { return 1.0; }
+  void prepare(unsigned /*sites*/, unsigned /*clients*/,
+               util::rng /*gen*/) override {}
+  std::unique_ptr<core::txn_source> make_source(
+      const core::client_slot& /*slot*/, util::rng gen) override {
+    return std::make_unique<counter_source>(gen);
+  }
+};
 
 }  // namespace
 
-int main() {
-  core::cluster::config cfg;
-  cfg.sites = 2;
-  cfg.seed = 3;
-  core::cluster c(cfg);
-  c.start();
+int main(int argc, char** argv) {
+  util::flag_set flags;
+  flags.declare("sites", "3", "number of database replicas");
+  flags.declare("clients", "30", "counter-service clients");
+  flags.declare("txns", "600", "transactions to run");
+  flags.declare("seed", "3", "random seed");
+  if (!flags.parse(argc, argv)) return 1;
 
-  std::printf("1. Non-conflicting increments at both sites:\n");
-  c.sim().schedule_at(milliseconds(50), [&] {
-    c.site(0).submit(increment(1, milliseconds(2)), [](db::txn_outcome o) {
-      std::printf("   site 0, counter 1: %s\n", outcome_str(o));
-    });
-    c.site(1).submit(increment(2, milliseconds(2)), [](db::txn_outcome o) {
-      std::printf("   site 1, counter 2: %s\n", outcome_str(o));
-    });
-  });
+  core::experiment_config cfg;
+  cfg.sites = static_cast<unsigned>(flags.get_int("sites"));
+  cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
+  cfg.target_responses = flags.get_u64("txns");
+  cfg.seed = flags.get_u64("seed");
+  cfg.max_sim_time = seconds(600);
+  cfg.workload = [] { return std::make_unique<counter_workload>(); };
 
-  c.sim().schedule_at(seconds(1), [&] {
-    std::printf("2. Concurrent increments of the SAME counter "
-                "(no distributed locks -> certification decides):\n");
-    c.site(0).submit(increment(7, milliseconds(2)), [](db::txn_outcome o) {
-      std::printf("   site 0, counter 7: %s\n", outcome_str(o));
-    });
-    c.site(1).submit(increment(7, milliseconds(2)), [](db::txn_outcome o) {
-      std::printf("   site 1, counter 7: %s\n", outcome_str(o));
-    });
-  });
+  std::printf("Running the custom '%s' workload: %u clients, %u sites...\n",
+              "counters", cfg.clients, cfg.sites);
+  const auto r = core::run_experiment(cfg);
 
-  c.sim().schedule_at(seconds(2), [&] {
-    std::printf("3. Long reporting scan racing a concurrent increment "
-                "(escalated read aborts):\n");
-    c.site(0).submit(report_scan(milliseconds(100)), [](db::txn_outcome o) {
-      std::printf("   site 0, scan: %s\n", outcome_str(o));
-    });
-    c.sim().schedule_after(milliseconds(10), [&] {
-      c.site(1).submit(increment(9, milliseconds(1)),
-                       [](db::txn_outcome o) {
-                         std::printf("   site 1, counter 9: %s\n",
-                                     outcome_str(o));
-                       });
-    });
-  });
+  std::printf("\nworkload            %s\n", r.workload_name.c_str());
+  std::printf("simulated time      %.1f s\n", to_seconds(r.duration));
+  std::printf("throughput          %.0f committed tpm\n", r.tpm());
+  std::printf("abort rate          %.2f %%\n", r.stats.abort_rate_pct());
+  std::printf("safety check        %s (common prefix: %zu commits)\n",
+              r.safety.ok ? "IDENTICAL COMMIT SEQUENCES" : "VIOLATED",
+              r.safety.common_prefix);
 
-  c.sim().run_until(seconds(4));
-
-  std::printf("\ncommit logs: site0=%zu entries, site1=%zu entries, "
-              "identical=%s\n",
-              c.site(0).commit_log().size(), c.site(1).commit_log().size(),
-              c.site(0).commit_log() == c.site(1).commit_log() ? "yes"
-                                                               : "no");
-  return 0;
+  util::text_table t;
+  t.header({"Class", "Total", "Committed", "Cert aborts", "Abort %"});
+  for (db::txn_class c = 0;
+       c < static_cast<db::txn_class>(r.stats.classes()); ++c) {
+    const auto& s = r.stats.of(c);
+    t.row({r.class_names.at(c), util::fmt(s.total()),
+           util::fmt(s.committed), util::fmt(s.aborted_cert),
+           util::fmt(s.abort_rate_pct(), 2)});
+  }
+  std::printf("\n%s", t.to_string().c_str());
+  std::puts("\nThe report-scan class reads the table granule, so any "
+            "concurrent committed\nincrement certifies against it — "
+            "escalated reads pay for their coverage in\naborts, while "
+            "point-read classes never certify-abort.");
+  return r.safety.ok ? 0 : 1;
 }

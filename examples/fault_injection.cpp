@@ -65,10 +65,9 @@ int main(int argc, char** argv) {
     core::experiment_config cfg;
     cfg.sites = 3;
     cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
-    cfg.target_responses =
-        static_cast<std::uint64_t>(flags.get_int("txns"));
+    cfg.target_responses = flags.get_u64("txns");
     cfg.max_sim_time = seconds(900);
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.seed = flags.get_u64("seed");
     cfg.faults = s.plan;
     std::fprintf(stderr, "[fault_injection] %s ...\n", s.name);
     const auto r = core::run_experiment(cfg);

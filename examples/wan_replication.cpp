@@ -32,9 +32,8 @@ int main(int argc, char** argv) {
     core::experiment_config cfg;
     cfg.sites = 3;
     cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
-    cfg.target_responses =
-        static_cast<std::uint64_t>(flags.get_int("txns"));
-    cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+    cfg.target_responses = flags.get_u64("txns");
+    cfg.seed = flags.get_u64("seed");
     cfg.max_sim_time = seconds(1200);
     std::string label;
     if (latency == 0) {
@@ -56,10 +55,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     util::sample_set update_ms, ro_ms;
-    for (db::txn_class c = 0; c < tpcc::num_classes; ++c) {
+    for (db::txn_class c = 0;
+         c < static_cast<db::txn_class>(r.stats.classes()); ++c) {
       const auto& s = r.stats.of(c).commit_latency_ms;
       for (double v : s.sorted()) {
-        if (tpcc::is_update_class(c)) {
+        if (r.class_is_update[c]) {
           update_ms.add(v);
         } else {
           ro_ms.add(v);

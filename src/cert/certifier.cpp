@@ -6,13 +6,6 @@
 
 namespace dbsm::cert {
 
-namespace {
-/// Evicted entries drained per certify_update. Steady state evicts one
-/// entry per commit, so draining two keeps the backlog bounded while
-/// amortizing cleanup over deliveries.
-constexpr std::size_t drain_per_delivery = 2;
-}  // namespace
-
 certifier::certifier(cert_config cfg) : cfg_(cfg) {
   DBSM_CHECK(cfg_.history_window > 0);
 }
@@ -61,7 +54,7 @@ bool certifier::certify_update(std::uint64_t begin_pos,
                  "snapshot " << begin_pos << " is in the future of "
                              << position_);
   ++position_;
-  drain_evicted(drain_per_delivery);
+  drain_evicted(cfg_.evict_drain_per_delivery);
   const bool conflict = conflicts(begin_pos, read_set, &write_set);
   // Modeled cost: one probe per element of the transaction's own sets —
   // deterministic and window-independent, like the real work.

@@ -51,6 +51,15 @@ struct cert_config {
   sim_duration cost_per_element = nanoseconds(60);
   /// Fixed modeled CPU cost per certification.
   sim_duration cost_fixed = microseconds(10);
+  /// Evicted write sets whose stale index entries are drained per
+  /// certify_update. Steady state evicts at most one set per delivery,
+  /// so any positive rate bounds the backlog at one set; the default
+  /// keeps headroom. 0 defers cleanup entirely — decisions are unchanged
+  /// (stale entries predate every snapshot that survives the pre-window
+  /// rule) but index memory then grows with every distinct item ever
+  /// written. Larger rates clear an accumulated backlog in fewer
+  /// deliveries.
+  std::size_t evict_drain_per_delivery = 2;
 };
 
 class certifier {
@@ -87,6 +96,9 @@ class certifier {
   /// Live entries in the last-writer index (bounded by the window's
   /// distinct ids plus the not-yet-drained evicted entries).
   std::size_t index_size() const { return index_.size(); }
+  /// Evicted write sets queued for lazy index cleanup and not yet
+  /// drained (cert_config::evict_drain_per_delivery).
+  std::size_t evicted_backlog() const { return evicted_.size(); }
 
  private:
   struct entry {

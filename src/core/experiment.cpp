@@ -2,12 +2,21 @@
 
 #include <memory>
 
+#include "tpcc/tpcc_workload.hpp"
 #include "util/check.hpp"
+#include "workload/client.hpp"
 
 namespace dbsm::core {
 
 experiment_result run_experiment(const experiment_config& cfg) {
   DBSM_CHECK(cfg.clients >= 1);
+
+  // The only workload-specific line in the harness: a null factory means
+  // "the paper's TPC-C workload from cfg.profile" (config-compatible with
+  // the pre-seam API). Everything below is workload-agnostic.
+  std::unique_ptr<workload> wl =
+      cfg.workload ? cfg.workload() : tpcc::make_workload(cfg.profile);
+  DBSM_CHECK(wl != nullptr);
 
   const unsigned total_sites =
       cfg.sites + (cfg.dedicated_sequencer ? 1 : 0);
@@ -33,46 +42,48 @@ experiment_result run_experiment(const experiment_config& cfg) {
     fault::apply_timing(c.env(i), i, cfg.faults);
   }
 
-  // One workload generator per site; the site's clients share it.
-  const unsigned warehouses = tpcc::warehouses_for_clients(cfg.clients);
-  std::vector<std::unique_ptr<tpcc::workload>> loads;
-  for (unsigned i = 0; i < total_sites; ++i) {
-    loads.push_back(std::make_unique<tpcc::workload>(
-        cfg.profile, warehouses, root.fork("load" + std::to_string(i))));
-  }
+  // Shared workload state (e.g. one generator per site, shared by the
+  // site's clients).
+  wl->prepare(total_sites, cfg.clients, root);
 
   experiment_result result;
+  result.stats = txn_stats(wl->classes());
+  result.workload_name = wl->name();
+  for (db::txn_class cls = 0;
+       cls < static_cast<db::txn_class>(wl->classes()); ++cls) {
+    result.class_names.emplace_back(wl->class_name(cls));
+    result.class_is_update.push_back(wl->is_update_class(cls));
+  }
   std::uint64_t responses = 0;
 
-  // Clients: warehouse i/10 so that one warehouse's clients spread over
-  // all sites ("an equal share of clients is assigned to each site").
-  std::vector<std::unique_ptr<tpcc::client>> clients;
-  std::vector<std::vector<tpcc::client*>> site_clients(total_sites);
-  const double think_mean = cfg.profile.think_time->mean();
+  std::vector<std::unique_ptr<client>> clients;
+  std::vector<std::vector<client*>> site_clients(total_sites);
+  const double think_mean = wl->mean_think_seconds();
   util::rng stagger = root.fork("stagger");
 
   const unsigned first_client_site = cfg.dedicated_sequencer ? 1 : 0;
   for (unsigned i = 0; i < cfg.clients; ++i) {
     const unsigned site = first_client_site + i % cfg.sites;
-    const auto home_w = static_cast<std::uint32_t>(
-        i / tpcc::clients_per_warehouse);
-    const auto home_d =
-        static_cast<std::uint32_t>(i % tpcc::districts_per_warehouse);
     replica& rep = c.site(site);
     auto submit = [&rep](db::txn_request req,
                          std::function<void(db::txn_outcome)> done) {
       rep.submit(std::move(req), std::move(done));
     };
     auto report = [&result, &responses, &c,
-                   &cfg](const tpcc::client::result& r) {
+                   &cfg](const client::result& r) {
       result.stats.record(r.cls, r.outcome, r.submitted, r.finished);
       ++responses;
       if (cfg.target_responses != 0 && responses >= cfg.target_responses)
         c.sim().stop();
     };
-    clients.push_back(std::make_unique<tpcc::client>(
-        c.sim(), *loads[site], home_w, home_d, submit, report,
-        root.fork("client" + std::to_string(i))));
+    client_slot slot;
+    slot.site = site;
+    slot.index = i;
+    slot.total_clients = cfg.clients;
+    clients.push_back(std::make_unique<client>(
+        c.sim(),
+        wl->make_source(slot, root.fork("source" + std::to_string(i))),
+        submit, report, root.fork("client" + std::to_string(i))));
     site_clients[site].push_back(clients.back().get());
   }
 
@@ -80,7 +91,7 @@ experiment_result run_experiment(const experiment_config& cfg) {
     DBSM_CHECK(crash.site < cfg.sites);
     c.sim().schedule_at(crash.at, [&c, &site_clients, crash] {
       c.crash_site(crash.site);
-      for (tpcc::client* cl : site_clients[crash.site]) cl->stop();
+      for (client* cl : site_clients[crash.site]) cl->stop();
     });
   }
 

@@ -1,14 +1,19 @@
 // Experiment harness: one call runs a complete scenario — replicated (or
-// centralized) database, TPC-C clients, optional fault plan — and returns
-// every metric the paper's evaluation section reports.
+// centralized) database, closed-loop clients driving any core::workload,
+// optional fault plan — and returns every metric the paper's evaluation
+// section reports.
 #ifndef DBSM_CORE_EXPERIMENT_HPP
 #define DBSM_CORE_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
 
 #include "core/cluster.hpp"
 #include "core/safety.hpp"
 #include "core/txn_stats.hpp"
 #include "fault/fault_plan.hpp"
-#include "tpcc/client.hpp"
+#include "tpcc/profile.hpp"
+#include "workload/workload.hpp"
 
 namespace dbsm::core {
 
@@ -23,7 +28,16 @@ struct experiment_config {
   sim_duration max_sim_time = seconds(3600);
   std::uint64_t seed = 42;
 
+  /// The traffic generator. Null (the default) means the paper's TPC-C
+  /// workload built from `profile` — existing configs keep working
+  /// unchanged. Set to tpcc::factory(...), kv::factory(...), or any
+  /// user-defined core::workload factory to run something else.
+  workload_factory workload;
+
+  /// TPC-C profile used by the default (null) workload factory; ignored
+  /// when `workload` is set.
   tpcc::workload_profile profile = tpcc::workload_profile::pentium3_1ghz();
+
   replica::config replica_cfg;
   gcs::group_config gcs;
   csrt::net_cost_model costs;
@@ -43,7 +57,15 @@ struct experiment_config {
 };
 
 struct experiment_result {
-  txn_stats stats{tpcc::num_classes};
+  /// Per-class metrics, sized by the workload's class count.
+  txn_stats stats;
+  /// The workload's identifier and per-class metadata, in class-id
+  /// order — result consumers print tables and split update vs
+  /// read-only classes without naming a workload type.
+  std::string workload_name;
+  std::vector<std::string> class_names;
+  std::vector<bool> class_is_update;
+
   sim_duration duration = 0;  // simulated time when the run stopped
   std::uint64_t responses = 0;
 

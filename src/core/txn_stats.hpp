@@ -34,6 +34,10 @@ struct class_stats {
 
 class txn_stats {
  public:
+  /// Default: zero classes; the harness re-sizes from the workload's
+  /// class count before recording (record() on a zero-class instance
+  /// throws).
+  txn_stats() = default;
   explicit txn_stats(std::size_t classes) : per_class_(classes) {}
 
   void record(db::txn_class cls, db::txn_outcome outcome,

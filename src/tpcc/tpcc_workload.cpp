@@ -1,0 +1,81 @@
+#include "tpcc/tpcc_workload.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace dbsm::tpcc {
+
+namespace {
+
+/// Source for one terminal: wraps the site's shared generator with the
+/// client's home (warehouse, district).
+class tpcc_source final : public core::txn_source {
+ public:
+  tpcc_source(workload& load, std::uint32_t home_w, std::uint32_t home_d)
+      : load_(load), home_w_(home_w), home_d_(home_d) {}
+
+  db::txn_request next(sim_time now) override {
+    load_.set_now(now);
+    return load_.next(home_w_, home_d_);
+  }
+
+  double think_seconds(util::rng& gen) override {
+    return load_.profile().think_time->sample(gen);
+  }
+
+ private:
+  workload& load_;
+  std::uint32_t home_w_;
+  std::uint32_t home_d_;
+};
+
+}  // namespace
+
+tpcc_workload::tpcc_workload(workload_profile profile)
+    : profile_(std::move(profile)) {}
+
+const char* tpcc_workload::class_name(db::txn_class cls) const {
+  return tpcc::class_name(cls);
+}
+
+bool tpcc_workload::is_update_class(db::txn_class cls) const {
+  return tpcc::is_update_class(cls);
+}
+
+double tpcc_workload::mean_think_seconds() const {
+  return profile_.think_time->mean();
+}
+
+void tpcc_workload::prepare(unsigned sites, unsigned clients,
+                            util::rng gen) {
+  DBSM_CHECK(loads_.empty());
+  const unsigned warehouses = warehouses_for_clients(clients);
+  for (unsigned i = 0; i < sites; ++i) {
+    loads_.push_back(std::make_unique<tpcc::workload>(
+        profile_, warehouses, gen.fork("load" + std::to_string(i))));
+  }
+}
+
+std::unique_ptr<core::txn_source> tpcc_workload::make_source(
+    const core::client_slot& slot, util::rng /*gen*/) {
+  DBSM_CHECK(slot.site < loads_.size());
+  // Warehouse i/10 so that one warehouse's clients spread over all sites
+  // ("an equal share of clients is assigned to each site").
+  const auto home_w =
+      static_cast<std::uint32_t>(slot.index / clients_per_warehouse);
+  const auto home_d =
+      static_cast<std::uint32_t>(slot.index % districts_per_warehouse);
+  return std::make_unique<tpcc_source>(*loads_[slot.site], home_w, home_d);
+}
+
+core::workload_factory factory(workload_profile profile) {
+  return [profile = std::move(profile)] { return make_workload(profile); };
+}
+
+std::unique_ptr<core::workload> make_workload(workload_profile profile) {
+  return std::make_unique<tpcc_workload>(std::move(profile));
+}
+
+}  // namespace dbsm::tpcc

@@ -1,5 +1,6 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -76,6 +77,23 @@ std::string flag_set::get_string(const std::string& name) const {
 
 std::int64_t flag_set::get_int(const std::string& name) const {
   return std::strtoll(find(name).value.c_str(), nullptr, 10);
+}
+
+std::uint64_t flag_set::get_u64(const std::string& name) const {
+  const std::string& v = find(name).value;
+  // strtoull accepts a leading '-' (wrapping the result), so reject it
+  // explicitly; also insist the whole token parsed and did not overflow.
+  const char* s = v.c_str();
+  while (*s == ' ' || *s == '\t') ++s;
+  DBSM_CHECK_MSG(*s != '-',
+                 "flag --" << name << " must be >= 0, got " << v);
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(s, &end, 10);
+  DBSM_CHECK_MSG(end != s && *end == '\0' && errno != ERANGE,
+                 "flag --" << name << " is not a valid unsigned integer: "
+                           << v);
+  return parsed;
 }
 
 double flag_set::get_double(const std::string& name) const {

@@ -23,6 +23,9 @@ class flag_set {
 
   std::string get_string(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
+  /// Unsigned read for count-like flags; dies on a negative value instead
+  /// of wrapping it silently to a huge count.
+  std::uint64_t get_u64(const std::string& name) const;
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 

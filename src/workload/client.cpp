@@ -1,16 +1,17 @@
-#include "tpcc/client.hpp"
+#include "workload/client.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
 
-namespace dbsm::tpcc {
+namespace dbsm::core {
 
-client::client(sim::simulator& sim, workload& load, std::uint32_t home_w,
-               std::uint32_t home_d, submit_fn submit, report_fn report,
-               util::rng gen)
-    : sim_(sim), load_(load), home_w_(home_w), home_d_(home_d),
-      submit_(std::move(submit)), report_(std::move(report)), rng_(gen) {
+client::client(sim::simulator& sim, std::unique_ptr<txn_source> source,
+               submit_fn submit, report_fn report, util::rng gen)
+    : sim_(sim), source_(std::move(source)), submit_(std::move(submit)),
+      report_(std::move(report)), rng_(gen) {
+  DBSM_CHECK(source_ != nullptr);
   DBSM_CHECK(submit_ != nullptr);
 }
 
@@ -20,8 +21,7 @@ void client::start(sim_duration initial_delay) {
 
 void client::issue() {
   if (stopped_) return;
-  load_.set_now(sim_.now());
-  db::txn_request req = load_.next(home_w_, home_d_);
+  db::txn_request req = source_->next(sim_.now());
   const db::txn_class cls = req.cls;
   const sim_time submitted = sim_.now();
   waiting_ = true;
@@ -45,9 +45,9 @@ void client::on_reply(db::txn_class cls, sim_time submitted,
   if (stopped_) return;
   // Aborted transactions are not resubmitted (§5.1); the client simply
   // thinks and moves on to a fresh request.
-  const double think_s = load_.profile().think_time->sample(rng_);
+  const double think_s = source_->think_seconds(rng_);
   sim_.schedule_after(from_seconds(std::max(think_s, 0.0)),
                       [this] { issue(); });
 }
 
-}  // namespace dbsm::tpcc
+}  // namespace dbsm::core

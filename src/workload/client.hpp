@@ -2,15 +2,19 @@
 // site. It issues a transaction, blocks until the reply, pauses for a
 // think time, and repeats. Each terminal outcome is logged with submit and
 // finish timestamps (the source of all latency/throughput/abort metrics).
-#ifndef DBSM_TPCC_CLIENT_HPP
-#define DBSM_TPCC_CLIENT_HPP
+//
+// The client is workload-agnostic: requests and think times come from the
+// txn_source its workload built for it (workload/workload.hpp).
+#ifndef DBSM_WORKLOAD_CLIENT_HPP
+#define DBSM_WORKLOAD_CLIENT_HPP
 
 #include <functional>
+#include <memory>
 
 #include "sim/simulator.hpp"
-#include "tpcc/workload.hpp"
+#include "workload/workload.hpp"
 
-namespace dbsm::tpcc {
+namespace dbsm::core {
 
 class client {
  public:
@@ -29,9 +33,8 @@ class client {
                          std::function<void(db::txn_outcome)>)>;
   using report_fn = std::function<void(const result&)>;
 
-  client(sim::simulator& sim, workload& load, std::uint32_t home_w,
-         std::uint32_t home_d, submit_fn submit, report_fn report,
-         util::rng gen);
+  client(sim::simulator& sim, std::unique_ptr<txn_source> source,
+         submit_fn submit, report_fn report, util::rng gen);
 
   /// Begins issuing after `initial_delay` (staggered start).
   void start(sim_duration initial_delay);
@@ -48,9 +51,7 @@ class client {
                 db::txn_outcome outcome);
 
   sim::simulator& sim_;
-  workload& load_;
-  std::uint32_t home_w_;
-  std::uint32_t home_d_;
+  std::unique_ptr<txn_source> source_;
   submit_fn submit_;
   report_fn report_;
   util::rng rng_;
@@ -59,6 +60,6 @@ class client {
   std::uint64_t completed_ = 0;
 };
 
-}  // namespace dbsm::tpcc
+}  // namespace dbsm::core
 
-#endif  // DBSM_TPCC_CLIENT_HPP
+#endif  // DBSM_WORKLOAD_CLIENT_HPP

@@ -1,0 +1,225 @@
+#include "workload/kv.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "cert/rwset.hpp"
+#include "util/check.hpp"
+
+namespace dbsm::kv {
+
+namespace {
+
+/// Table slot for the flat keyspace in the db::item_id codec. Keys are
+/// bucketed into granules of keys_per_granule consecutive keys: the
+/// warehouse field holds the granule number and the row field the offset
+/// within it, so db::granule_of(item) is the key's scan granule.
+constexpr unsigned kv_table = 1;
+
+db::item_id item_for_key(std::uint64_t key, std::uint32_t keys_per_granule) {
+  return db::make_item(
+      kv_table, static_cast<std::uint32_t>(key / keys_per_granule), 0,
+      static_cast<std::uint32_t>(key % keys_per_granule));
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+class kv_source final : public core::txn_source {
+ public:
+  kv_source(const kv_config& cfg, const zipf_sampler& zipf, util::rng gen)
+      : cfg_(cfg), zipf_(zipf), rng_(gen) {}
+
+  db::txn_request next(sim_time /*now*/) override {
+    const double pick = rng_.uniform();
+    db::txn_class cls = c_rmw;
+    if (pick < cfg_.mix_read) {
+      cls = c_read;
+    } else if (pick < cfg_.mix_read + cfg_.mix_update) {
+      cls = c_update;
+    } else if (pick < cfg_.mix_read + cfg_.mix_update + cfg_.mix_scan) {
+      cls = c_scan;
+    }
+    if (cls == c_scan) return make_scan();
+
+    const auto ops = static_cast<unsigned>(
+        rng_.uniform_int(cfg_.min_ops, cfg_.max_ops));
+    keys_.clear();
+    keys_.reserve(ops);
+    for (unsigned i = 0; i < ops; ++i)
+      keys_.push_back(
+          item_for_key(zipf_.sample(rng_), cfg_.keys_per_granule));
+
+    db::txn_request req;
+    req.cls = cls;
+    const bool reads = cls != c_update;
+    const bool writes = cls != c_read;
+    if (reads) {
+      req.read_set = keys_;
+      cert::normalize(req.read_set);
+    }
+    if (writes) {
+      req.write_set.reserve(2 * keys_.size());
+      req.write_set.assign(keys_.begin(), keys_.end());
+      // Advertise the scan granule of every written key so concurrent
+      // escalated reads certify against this write (tpcc::write_granule's
+      // rule, applied to the flat keyspace).
+      for (const db::item_id it : keys_)
+        req.write_set.push_back(db::granule_of(it));
+      cert::normalize(req.write_set);
+      req.update_bytes =
+          cfg_.value_bytes * static_cast<std::uint32_t>(ops);
+      // Uniformly drawn keys land on scattered pages: one sector per
+      // distinct written tuple (granule markers are not storage writes).
+      std::uint16_t sectors = 0;
+      for (const db::item_id it : req.write_set)
+        sectors += !db::is_granule(it);
+      req.disk_sectors = sectors;
+    }
+
+    // Execution script mirrors the TPC-C shape: one aggregate fetch, one
+    // processing slice, one write-back for updating classes.
+    finish_script(req, ops, cfg_.value_bytes * ops, writes);
+    return req;
+  }
+
+  double think_seconds(util::rng& gen) override {
+    return cfg_.think_time->sample(gen);
+  }
+
+ private:
+  /// Range scan (YCSB workload E): reads one whole key granule — chosen
+  /// by sampling a Zipf key, so hot granules are scanned as often as
+  /// they are written. The read escalates to the granule id; any write
+  /// committed inside the granule during execution certification-aborts
+  /// the scan (read-only transactions certify locally, §5.1).
+  db::txn_request make_scan() {
+    db::txn_request req;
+    req.cls = c_scan;
+    const db::item_id hit =
+        item_for_key(zipf_.sample(rng_), cfg_.keys_per_granule);
+    req.read_set = {db::granule_of(hit)};
+    const std::uint32_t scanned =
+        std::min<std::uint32_t>(cfg_.keys_per_granule, cfg_.keys);
+    finish_script(req, /*ops=*/scanned / 8 + 1,
+                  cfg_.value_bytes * scanned, /*writes=*/false);
+    return req;
+  }
+
+  /// One aggregate fetch, one processing slice of `ops` per-op CPU
+  /// samples, and a write-back when the transaction updates.
+  void finish_script(db::txn_request& req, unsigned ops,
+                     std::uint32_t fetch_bytes, bool writes) {
+    double cpu_s = 0.0;
+    for (unsigned i = 0; i < ops; ++i)
+      cpu_s += cfg_.cpu_per_op->sample(rng_);
+    db::operation fetch;
+    fetch.k = db::operation::kind::fetch;
+    fetch.bytes = fetch_bytes;
+    req.ops.push_back(fetch);
+    db::operation proc;
+    proc.k = db::operation::kind::process;
+    proc.cpu = from_seconds(std::max(cpu_s, 0.0001));
+    req.ops.push_back(proc);
+    if (writes) {
+      db::operation wr;
+      wr.k = db::operation::kind::write;
+      wr.item = req.write_set.front();
+      wr.bytes = req.update_bytes;
+      req.ops.push_back(wr);
+    }
+  }
+
+  const kv_config& cfg_;
+  const zipf_sampler& zipf_;
+  util::rng rng_;
+  std::vector<db::item_id> keys_;  // per-source scratch
+};
+
+}  // namespace
+
+const char* class_name(db::txn_class cls) {
+  switch (cls) {
+    case c_read: return "kv-read";
+    case c_update: return "kv-update";
+    case c_rmw: return "kv-rmw";
+    case c_scan: return "kv-scan";
+    default: return "?";
+  }
+}
+
+bool is_update_class(db::txn_class cls) {
+  return cls == c_update || cls == c_rmw;
+}
+
+zipf_sampler::zipf_sampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  DBSM_CHECK(n_ >= 1);
+  DBSM_CHECK_MSG(theta_ >= 0.0 && theta_ < 1.0,
+                 "zipf theta must be in [0, 1), got " << theta_);
+  zetan_ = zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta(2, theta_) / zetan_);
+  rank1_cut_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::uint64_t zipf_sampler::sample(util::rng& gen) const {
+  const double u = gen.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < rank1_cut_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+kv_workload::kv_workload(kv_config cfg) : cfg_(std::move(cfg)) {
+  DBSM_CHECK(cfg_.keys >= 1);
+  DBSM_CHECK(cfg_.keys_per_granule >= 1);
+  DBSM_CHECK(cfg_.min_ops >= 1 && cfg_.min_ops <= cfg_.max_ops);
+  DBSM_CHECK(cfg_.mix_read >= 0.0 && cfg_.mix_update >= 0.0 &&
+             cfg_.mix_scan >= 0.0 &&
+             cfg_.mix_read + cfg_.mix_update + cfg_.mix_scan <= 1.0);
+  if (!cfg_.cpu_per_op)
+    cfg_.cpu_per_op = util::lognormal_dist(0.0002, 0.30, 0.002);
+  if (!cfg_.think_time) cfg_.think_time = util::exponential_dist(2.0);
+}
+
+const char* kv_workload::class_name(db::txn_class cls) const {
+  return kv::class_name(cls);
+}
+
+bool kv_workload::is_update_class(db::txn_class cls) const {
+  return kv::is_update_class(cls);
+}
+
+double kv_workload::mean_think_seconds() const {
+  return cfg_.think_time->mean();
+}
+
+void kv_workload::prepare(unsigned /*sites*/, unsigned /*clients*/,
+                          util::rng /*gen*/) {
+  // The zeta prefix sum is O(keys); computed once and shared (const) by
+  // every source.
+  zipf_ = std::make_unique<const zipf_sampler>(cfg_.keys, cfg_.zipf_theta);
+}
+
+std::unique_ptr<core::txn_source> kv_workload::make_source(
+    const core::client_slot& /*slot*/, util::rng gen) {
+  DBSM_CHECK(zipf_ != nullptr);  // prepare() must have run
+  return std::make_unique<kv_source>(cfg_, *zipf_, gen);
+}
+
+core::workload_factory factory(kv_config cfg) {
+  return [cfg = std::move(cfg)] {
+    return std::make_unique<kv_workload>(cfg);
+  };
+}
+
+}  // namespace dbsm::kv

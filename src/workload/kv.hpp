@@ -1,0 +1,108 @@
+// YCSB-style key-value workload: Zipfian key choice over a flat keyspace,
+// a configurable read / blind-update / read-modify-write mix, and variable
+// operation counts per transaction.
+//
+// This is the scenario the paper's TPC-C harness cannot express: TPC-C
+// partitions almost all contention by home warehouse, so certification
+// conflicts stay rare and local. A skewed key-value load concentrates
+// writes on a global hot set that every site hammers concurrently —
+// exactly the workload shape *Invalidation-Based Protocols for Replicated
+// Datastores* (PAPERS.md) evaluates, and the stress case for the
+// certifier's last-writer index: raising zipf_theta raises the
+// certification abort rate while TPC-C barely moves.
+#ifndef DBSM_WORKLOAD_KV_HPP
+#define DBSM_WORKLOAD_KV_HPP
+
+#include "util/distributions.hpp"
+#include "workload/workload.hpp"
+
+namespace dbsm::kv {
+
+/// Transaction classes of the KV mix (YCSB A–E shapes).
+enum txn_class : db::txn_class {
+  c_read = 0,    // point reads only; snapshot-served, never cert-aborts
+  c_update = 1,  // blind writes
+  c_rmw = 2,     // read-modify-write of the same keys
+  c_scan = 3,    // range scan over one key granule (escalated read, §3.3)
+  num_classes = 4,
+};
+
+const char* class_name(db::txn_class cls);
+bool is_update_class(db::txn_class cls);
+
+/// Bounded Zipfian sampler over [0, n) (Gray et al., "Quickly generating
+/// billion-record synthetic databases" — the YCSB generator). theta = 0 is
+/// uniform; theta -> 1 concentrates mass on the lowest ranks.
+class zipf_sampler {
+ public:
+  zipf_sampler(std::uint64_t n, double theta);
+  std::uint64_t sample(util::rng& gen) const;
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double rank1_cut_;  // 1 + 0.5^theta
+};
+
+struct kv_config {
+  std::uint32_t keys = 100000;  // flat keyspace size
+  double zipf_theta = 0.99;     // skew; 0 = uniform, must be < 1
+
+  /// Scan granularity: consecutive keys per granule. Scans read one
+  /// granule (the escalation of a key-range read, §3.3) and writes
+  /// advertise the granule of every written key, so scans certify
+  /// against concurrent writes — a pure certification-conflict channel
+  /// the local lock table never sees.
+  std::uint32_t keys_per_granule = 256;
+
+  /// Class mix; the remainder (1 - read - update - scan) is
+  /// read-modify-write.
+  double mix_read = 0.45;
+  double mix_update = 0.30;
+  double mix_scan = 0.10;
+
+  /// Keys touched per transaction, uniform in [min_ops, max_ops].
+  unsigned min_ops = 4;
+  unsigned max_ops = 16;
+
+  std::uint32_t value_bytes = 100;  // per-key value size
+
+  /// CPU time per key operation, seconds (null: calibrated default,
+  /// log-normal with 0.2 ms mean).
+  util::distribution_ptr cpu_per_op;
+
+  /// Client think time, seconds (null: exponential, 2 s mean).
+  util::distribution_ptr think_time;
+};
+
+class kv_workload final : public core::workload {
+ public:
+  explicit kv_workload(kv_config cfg);
+
+  const char* name() const override { return "kv"; }
+  std::size_t classes() const override { return num_classes; }
+  const char* class_name(db::txn_class cls) const override;
+  bool is_update_class(db::txn_class cls) const override;
+  double mean_think_seconds() const override;
+
+  void prepare(unsigned sites, unsigned clients, util::rng gen) override;
+  std::unique_ptr<core::txn_source> make_source(
+      const core::client_slot& slot, util::rng gen) override;
+
+  const kv_config& config() const { return cfg_; }
+
+ private:
+  kv_config cfg_;
+  std::unique_ptr<const zipf_sampler> zipf_;
+};
+
+/// Factory for experiment_config::workload.
+core::workload_factory factory(kv_config cfg = {});
+
+}  // namespace dbsm::kv
+
+#endif  // DBSM_WORKLOAD_KV_HPP

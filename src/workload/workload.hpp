@@ -1,0 +1,97 @@
+// Pluggable workload API: the seam between the experiment harness and any
+// traffic generator. The paper evaluates exactly one workload (TPC-C,
+// §3.2); the harness here is generic — a workload describes its
+// transaction classes and builds per-client request sources, and
+// run_experiment drives whichever implementation the config names
+// (tpcc::tpcc_workload by default, kv::kv_workload, or a user-defined
+// one — see examples/custom_workload.cpp).
+//
+// The interface deliberately mirrors what the harness needs and nothing
+// more: class count/names for the result tables, per-class update/read
+// classification for analysis, the mean think time for staggered client
+// starts, and a txn_source per client that yields db::txn_requests plus
+// think times.
+#ifndef DBSM_WORKLOAD_WORKLOAD_HPP
+#define DBSM_WORKLOAD_WORKLOAD_HPP
+
+#include <functional>
+#include <memory>
+
+#include "db/transaction.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dbsm::core {
+
+/// Identity of one emulated client within a run; workloads use it to
+/// derive home locality (e.g. TPC-C's warehouse/district assignment).
+struct client_slot {
+  unsigned site = 0;           // cluster site the client attaches to
+  unsigned index = 0;          // global client index in [0, total_clients)
+  unsigned total_clients = 1;  // clients in the whole run
+};
+
+/// Per-client request generator (§3.2's single-threaded terminal model):
+/// the client asks for the next request, submits it, and on reply asks how
+/// long to think before the next one. Sources are driven from simulator
+/// callbacks of one site — no synchronization is required, but a source
+/// may share state with its siblings (TPC-C shares per-site order
+/// counters). Sources may reference state owned by the workload that
+/// built them: the workload must outlive every source it hands out.
+class txn_source {
+ public:
+  virtual ~txn_source() = default;
+
+  /// Builds the next request; `now` is the current simulated time (state
+  /// shared across replicas may be modeled as a function of it). The
+  /// request carries no id/origin — the replica assigns them.
+  virtual db::txn_request next(sim_time now) = 0;
+
+  /// Samples the think time (seconds) before the following request, using
+  /// the calling client's own generator so per-client randomness never
+  /// perturbs shared generator state.
+  virtual double think_seconds(util::rng& gen) = 0;
+};
+
+/// A benchmark workload: transaction-class metadata plus a txn_source
+/// factory. One instance serves a whole experiment run.
+class workload {
+ public:
+  virtual ~workload() = default;
+
+  /// Short identifier ("tpcc", "kv") for logs and result tables.
+  virtual const char* name() const = 0;
+
+  /// Number of transaction classes; stats tables are sized by this.
+  virtual std::size_t classes() const = 0;
+  virtual const char* class_name(db::txn_class cls) const = 0;
+
+  /// True for classes that update the database (multicast + certify);
+  /// false for read-only classes that terminate locally.
+  virtual bool is_update_class(db::txn_class cls) const = 0;
+
+  /// Mean think time in seconds (client start staggering spreads the
+  /// initial burst across one mean think time).
+  virtual double mean_think_seconds() const = 0;
+
+  /// Called once by the harness before any source is built, with the
+  /// cluster shape and a generator forked from the experiment seed.
+  /// Workloads size shared state here (TPC-C scales warehouses to the
+  /// client count and builds one shared generator per site).
+  virtual void prepare(unsigned sites, unsigned clients, util::rng gen) = 0;
+
+  /// Builds the request source for one client. `gen` is an independent
+  /// stream forked from the experiment seed; implementations may use it
+  /// or rely on shared per-site state prepared above.
+  virtual std::unique_ptr<txn_source> make_source(const client_slot& slot,
+                                                  util::rng gen) = 0;
+};
+
+/// How experiment_config names a workload: a factory, so one config can be
+/// run many times and each run gets a fresh instance. A default-constructed
+/// (null) factory means the built-in TPC-C workload.
+using workload_factory = std::function<std::unique_ptr<workload>()>;
+
+}  // namespace dbsm::core
+
+#endif  // DBSM_WORKLOAD_WORKLOAD_HPP

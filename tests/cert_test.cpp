@@ -184,6 +184,50 @@ TEST(certifier, history_window_gc_conservative_abort) {
   EXPECT_EQ(c.history_size(), 10u);
 }
 
+TEST(certifier, evict_drain_rate_controls_index_reclamation) {
+  // Every delivery evicts at most one write set past the window, so a
+  // larger drain rate clears the backlog faster: any positive rate keeps
+  // it at <= 1 set, while rate 0 (defer cleanup) never reclaims — stale
+  // entries pile up in the index, one per distinct item ever written,
+  // without affecting decisions.
+  constexpr std::size_t window = 10;
+  constexpr int commits = 50;
+  auto run = [](std::size_t rate) {
+    cert_config cfg;
+    cfg.history_window = window;
+    cfg.evict_drain_per_delivery = rate;
+    certifier c(cfg);
+    for (int i = 0; i < commits; ++i) {
+      EXPECT_TRUE(
+          c.certify_update(c.position(), {}, {tup(5000 + i)}));
+    }
+    return c;
+  };
+  certifier never = run(0);
+  certifier slow = run(1);
+  certifier fast = run(8);
+
+  // Larger rate => backlog drained at least as fast, strictly faster
+  // than the disabled drain.
+  EXPECT_EQ(never.evicted_backlog(), commits - window);
+  EXPECT_LE(slow.evicted_backlog(), 1u);
+  EXPECT_LE(fast.evicted_backlog(), slow.evicted_backlog());
+  EXPECT_LT(slow.evicted_backlog(), never.evicted_backlog());
+
+  // The index mirrors the backlog: with the drain disabled it retains
+  // every item ever committed; with a positive rate it tracks the window.
+  EXPECT_EQ(never.index_size(), static_cast<std::size_t>(commits));
+  EXPECT_LE(slow.index_size(), window + 1);
+  EXPECT_LE(fast.index_size(), window + 1);
+
+  // Draining is memory reclamation only: decisions are identical.
+  EXPECT_EQ(never.commits(), slow.commits());
+  EXPECT_EQ(never.aborts(), slow.aborts());
+  const std::uint64_t snap = slow.position();
+  EXPECT_EQ(never.certify_read_only(snap, {gran(1)}),
+            slow.certify_read_only(snap, {gran(1)}));
+}
+
 TEST(certifier, cost_model_is_window_independent_and_set_linear) {
   // Indexed certification probes each element of the transaction's own
   // sets once: the modeled cost depends only on the set sizes, never on

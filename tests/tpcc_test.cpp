@@ -5,9 +5,10 @@
 
 #include "cert/rwset.hpp"
 #include "sim/simulator.hpp"
-#include "tpcc/client.hpp"
 #include "tpcc/schema.hpp"
+#include "tpcc/tpcc_workload.hpp"
 #include "tpcc/workload.hpp"
+#include "workload/client.hpp"
 
 namespace dbsm::tpcc {
 namespace {
@@ -209,12 +210,13 @@ TEST(workload, nurand_within_bounds) {
 
 TEST(client, closed_loop_issue_reply_think) {
   sim::simulator s;
-  workload load = make_load(1, 9);
+  tpcc_workload wl(workload_profile::pentium3_1ghz());
+  wl.prepare(1, 10, util::rng(9));
   std::vector<sim_time> submits;
   int inflight = 0;
   int max_inflight = 0;
-  client::submit_fn submit = [&](db::txn_request,
-                                 std::function<void(db::txn_outcome)> done) {
+  core::client::submit_fn submit =
+      [&](db::txn_request, std::function<void(db::txn_outcome)> done) {
     ++inflight;
     max_inflight = std::max(max_inflight, inflight);
     submits.push_back(s.now());
@@ -224,13 +226,13 @@ TEST(client, closed_loop_issue_reply_think) {
     });
   };
   int reported = 0;
-  client c(s, load, 0, 0, submit,
-           [&](const client::result& r) {
-             ++reported;
-             EXPECT_EQ(r.outcome, db::txn_outcome::committed);
-             EXPECT_EQ(r.finished - r.submitted, milliseconds(20));
-           },
-           util::rng(4));
+  core::client c(s, wl.make_source({0, 0, 10}, util::rng(2)), submit,
+                 [&](const core::client::result& r) {
+                   ++reported;
+                   EXPECT_EQ(r.outcome, db::txn_outcome::committed);
+                   EXPECT_EQ(r.finished - r.submitted, milliseconds(20));
+                 },
+                 util::rng(4));
   c.start(0);
   s.run_until(seconds(120));
   EXPECT_GE(reported, 3);
@@ -242,15 +244,17 @@ TEST(client, closed_loop_issue_reply_think) {
 
 TEST(client, stop_ceases_issuing) {
   sim::simulator s;
-  workload load = make_load(1, 10);
+  tpcc_workload wl(workload_profile::pentium3_1ghz());
+  wl.prepare(1, 10, util::rng(10));
   int submitted = 0;
-  client::submit_fn submit = [&](db::txn_request,
-                                 std::function<void(db::txn_outcome)> done) {
+  core::client::submit_fn submit =
+      [&](db::txn_request, std::function<void(db::txn_outcome)> done) {
     ++submitted;
     s.schedule_after(milliseconds(1),
                      [done] { done(db::txn_outcome::committed); });
   };
-  client c(s, load, 0, 0, submit, {}, util::rng(4));
+  core::client c(s, wl.make_source({0, 0, 10}, util::rng(2)), submit, {},
+                 util::rng(4));
   c.start(0);
   s.schedule_at(seconds(30), [&] { c.stop(); });
   s.run_until(seconds(300));
