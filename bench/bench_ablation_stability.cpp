@@ -43,7 +43,9 @@ int main(int argc, char** argv) {
     cfg.sites = 3;
     cfg.cpus_per_site = 1;
     cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
-    cfg.faults.random_loss = 0.05;
+    fault::plan loss;
+    loss.random_loss = 0.05;
+    cfg.faults = fault::from_plan(loss);
     cfg.gcs.total_buffer_msgs = v.buffer_msgs;
     cfg.gcs.total_buffer_bytes =
         defaults.total_buffer_bytes * v.buffer_msgs / base;

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
     cfg.sites = 3;
     cfg.cpus_per_site = 1;
     cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
-    cfg.faults = s.plan;
+    cfg.faults = fault::from_plan(s.plan, s.label);
     results.push_back(bench::run_point(cfg, s.label));
   }
 

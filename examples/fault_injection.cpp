@@ -1,9 +1,13 @@
-// Fault-injection campaign (§5.3): subject one replicated configuration to
-// every fault type the paper injects — clock drift, scheduling latency,
-// random loss, bursty loss, and a crash — and verify after each run that
-// all operational sites committed exactly the same sequence.
+// Fault-injection campaign (§5.3): subject a replicated configuration to
+// the scenarios of the named fault library — the paper's five fault types
+// plus the composed/timed scenarios (partition + heal, flaky switch, slow
+// replica, cascading crashes) — and verify after each run that all
+// operational sites committed exactly the same sequence.
 //
-//   $ ./fault_injection [--clients N] [--txns N]
+//   $ ./fault_injection                        # default campaign
+//   $ ./fault_injection --scenario all         # every catalog scenario
+//   $ ./fault_injection --scenario flaky_switch
+//   $ ./fault_injection --list
 //
 // This reproduces the paper's use of the tool for automated dependability
 // regression testing (§7: "the ability to autonomously run a set of
@@ -22,57 +26,53 @@ int main(int argc, char** argv) {
   flags.declare("clients", "120", "TPC-C clients");
   flags.declare("txns", "1500", "responses per scenario");
   flags.declare("seed", "7", "random seed");
+  flags.declare("scenario", "campaign",
+                "scenario name, 'campaign' (default set), or 'all'");
+  flags.declare("list", "false", "list available scenarios and exit");
   if (!flags.parse(argc, argv)) return 1;
 
-  struct scenario {
-    const char* name;
-    fault::plan plan;
-  };
-  std::vector<scenario> scenarios;
-  scenarios.push_back({"no faults", {}});
-  {
-    fault::plan p;
-    p.clock_drift = 0.10;
-    scenarios.push_back({"clock drift 10%", p});
+  if (flags.get_bool("list")) {
+    std::printf("Available scenarios:\n");
+    for (const auto& e : fault::scenarios::catalog())
+      std::printf("  %-20s %s (>=%u sites)%s\n", e.name, e.description,
+                  e.min_sites, e.in_default_campaign ? "" : "  [all only]");
+    return 0;
   }
-  {
-    fault::plan p;
-    p.sched_latency_max = milliseconds(5);
-    scenarios.push_back({"scheduling latency <=5ms", p});
-  }
-  {
-    fault::plan p;
-    p.random_loss = 0.05;
-    scenarios.push_back({"random loss 5%", p});
-  }
-  {
-    fault::plan p;
-    p.bursty_loss = 0.05;
-    p.burst_len = 5;
-    scenarios.push_back({"bursty loss 5% (len 5)", p});
-  }
-  {
-    fault::plan p;
-    p.crashes.push_back({2, seconds(30)});
-    scenarios.push_back({"crash site 2 at t=30s", p});
+
+  std::vector<const fault::scenarios::catalog_entry*> selected;
+  const std::string sel = flags.get_string("scenario");
+  if (sel == "campaign" || sel == "all") {
+    for (const auto& e : fault::scenarios::catalog())
+      if (sel == "all" || e.in_default_campaign) selected.push_back(&e);
+  } else if (const auto* e = fault::scenarios::find(sel)) {
+    selected.push_back(e);
+  } else {
+    std::fprintf(stderr,
+                 "unknown scenario '%s' (try --list for the catalog)\n",
+                 sel.c_str());
+    return 1;
   }
 
   util::text_table t;
-  t.header({"Scenario", "Committed", "Abort %", "p99 lat (ms)", "Retx",
-            "Views", "Safety"});
+  t.header({"Scenario", "Sites", "Committed", "Abort %", "p99 lat (ms)",
+            "Retx", "Views", "Safety"});
   bool all_safe = true;
-  for (const auto& s : scenarios) {
+  for (const auto* e : selected) {
+    fault::scenarios::params prm;
+    prm.sites = std::max(3u, e->min_sites);
+
     core::experiment_config cfg;
-    cfg.sites = 3;
+    cfg.sites = prm.sites;
     cfg.clients = static_cast<unsigned>(flags.get_int("clients"));
     cfg.target_responses = flags.get_u64("txns");
     cfg.max_sim_time = seconds(900);
     cfg.seed = flags.get_u64("seed");
-    cfg.faults = s.plan;
-    std::fprintf(stderr, "[fault_injection] %s ...\n", s.name);
+    cfg.faults = e->make(prm);
+    std::fprintf(stderr, "[fault_injection] %s ...\n", e->name);
     const auto r = core::run_experiment(cfg);
     all_safe = all_safe && r.safety.ok;
-    t.row({s.name, util::fmt(r.stats.total_committed()),
+    t.row({e->name, util::fmt(static_cast<std::int64_t>(cfg.sites)),
+           util::fmt(r.stats.total_committed()),
            util::fmt(r.stats.abort_rate_pct(), 2),
            util::fmt(r.stats.pooled_latency_ms().quantile(0.99), 1),
            util::fmt(static_cast<std::int64_t>(r.retransmissions)),
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   std::printf("%s", t.to_string().c_str());
   std::printf("\n%s\n", all_safe
                             ? "All operational sites committed identical "
-                              "sequences under every fault type."
+                              "sequences under every fault scenario."
                             : "SAFETY VIOLATION DETECTED — see above.");
   return all_safe ? 0 : 1;
 }

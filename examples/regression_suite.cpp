@@ -48,12 +48,16 @@ int main() {
                    4800, 150, 5.0});
   {
     auto cfg = scenario(3, 1, 500);
-    cfg.faults.random_loss = 0.05;
+    fault::plan p;
+    p.random_loss = 0.05;
+    cfg.faults = fault::from_plan(p);
     gates.push_back({"3x1 @500 + 5% loss", cfg, 2200, 250, 6.0});
   }
   {
     auto cfg = scenario(3, 1, 300);
-    cfg.faults.crashes.push_back({2, seconds(25)});
+    fault::plan p;
+    p.crashes.push_back({2, seconds(25)});
+    cfg.faults = fault::from_plan(p);
     gates.push_back({"3x1 @300 + crash", cfg, 1100, 200, 5.0});
   }
 

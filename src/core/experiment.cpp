@@ -36,12 +36,6 @@ experiment_result run_experiment(const experiment_config& cfg) {
 
   util::rng root(cfg.seed);
 
-  // Fault plan: loss and timing faults per site, crashes on the timeline.
-  for (unsigned i = 0; i < total_sites; ++i) {
-    fault::apply_loss(c.network(), i, cfg.faults);
-    fault::apply_timing(c.env(i), i, cfg.faults);
-  }
-
   // Shared workload state (e.g. one generator per site, shared by the
   // site's clients).
   wl->prepare(total_sites, cfg.clients, root);
@@ -87,13 +81,18 @@ experiment_result run_experiment(const experiment_config& cfg) {
     site_clients[site].push_back(clients.back().get());
   }
 
-  for (const fault::crash_spec& crash : cfg.faults.crashes) {
-    DBSM_CHECK(crash.site < cfg.sites);
-    c.sim().schedule_at(crash.at, [&c, &site_clients, crash] {
-      c.crash_site(crash.site);
-      for (client* cl : site_clients[crash.site]) cl->stop();
-    });
-  }
+  // Install the fault scenario against this cluster's injection points:
+  // whole-run faults arm now (before the protocol stacks start), timed
+  // windows go onto the simulator timeline. Crashing a site also stops
+  // its clients.
+  fault::injection_points pts;
+  pts.net = &c.network();
+  for (unsigned i = 0; i < total_sites; ++i) pts.envs.push_back(&c.env(i));
+  pts.crash = [&c, &site_clients](unsigned site) {
+    c.crash_site(site);
+    for (client* cl : site_clients[site]) cl->stop();
+  };
+  cfg.faults.install(c.sim(), std::move(pts));
 
   c.start();
   // Stagger starts uniformly across one mean think time: steady state

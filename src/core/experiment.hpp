@@ -1,7 +1,7 @@
 // Experiment harness: one call runs a complete scenario — replicated (or
 // centralized) database, closed-loop clients driving any core::workload,
-// optional fault plan — and returns every metric the paper's evaluation
-// section reports.
+// optional fault scenario — and returns every metric the paper's
+// evaluation section reports.
 #ifndef DBSM_CORE_EXPERIMENT_HPP
 #define DBSM_CORE_EXPERIMENT_HPP
 
@@ -12,6 +12,7 @@
 #include "core/safety.hpp"
 #include "core/txn_stats.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/scenarios.hpp"
 #include "tpcc/profile.hpp"
 #include "workload/workload.hpp"
 
@@ -45,7 +46,12 @@ struct experiment_config {
   bool use_wan = false;
   net::wan_config wan;
   bool measure_real_time = false;
-  fault::plan faults;
+
+  /// The fault schedule, installed against the cluster's injection points
+  /// (network medium, per-site env bridges, crash hook). Build one by
+  /// composing fault_types, pick a named one from fault::scenarios::, or
+  /// adapt a flat paper plan with fault::from_plan.
+  fault::scenario faults;
 
   /// §5.3 mitigation: run the fixed sequencer on a dedicated extra site
   /// that serves no clients (the protocol still elects the lowest id, so

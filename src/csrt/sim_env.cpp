@@ -35,8 +35,8 @@ sim_time sim_env::effective_now() {
   if (!in_job_) return sim_.now();
   sim_duration measured = 0;
   if (cfg_.measure_real_time) {
-    measured = static_cast<sim_duration>(
-        static_cast<double>(profiler_.elapsed()) * cfg_.measured_scale);
+    measured = static_cast<sim_duration>(static_cast<double>(
+        profiler_.elapsed()) * cfg_.measured_scale * charge_scale_);
   }
   return job_start_ + job_elapsed_ + measured;
 }
@@ -55,8 +55,8 @@ void sim_env::post_job(sim_duration pre_charge, std::function<void()> fn) {
     if (cfg_.measure_real_time) profiler_.start();
     fn();
     if (cfg_.measure_real_time) {
-      job_elapsed_ += static_cast<sim_duration>(
-          static_cast<double>(profiler_.stop()) * cfg_.measured_scale);
+      job_elapsed_ += static_cast<sim_duration>(static_cast<double>(
+          profiler_.stop()) * cfg_.measured_scale * charge_scale_);
     }
     in_job_ = false;
     return job_elapsed_;
@@ -71,10 +71,11 @@ void sim_env::post(std::function<void()> fn) {
 void sim_env::set_clock_drift(double rate) {
   DBSM_CHECK(rate > -1.0);
   // "Scheduled events are scaled up (i.e. postponed) and elapsed durations
-  // measured are scaled down by the specified rate" (§5.3).
+  // measured are scaled down by the specified rate" (§5.3). Measured
+  // durations are scaled at use (effective_now / post_job), so re-arming
+  // or clearing the drift never compounds.
   timer_scale_ = 1.0 + rate;
   charge_scale_ = 1.0 / (1.0 + rate);
-  cfg_.measured_scale *= charge_scale_;
 }
 
 timer_id sim_env::set_timer(sim_duration d, std::function<void()> fn) {

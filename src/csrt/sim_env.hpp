@@ -80,12 +80,15 @@ class sim_env final : public env {
 
   // --- fault injection knobs (§5.3) ---
 
-  /// Clock drift: scheduled events are postponed by this factor (>1) and
-  /// measured/charged durations scaled down by its inverse.
+  /// Clock drift: timers armed while the drift is active are postponed by
+  /// (1 + rate) and measured/charged durations scaled down by its inverse.
+  /// Idempotent and reversible — set_clock_drift(0.0) restores nominal
+  /// timing (already-armed timers keep their postponed deadlines), so drift
+  /// can be confined to a fault window.
   void set_clock_drift(double rate);
 
   /// Scheduling latency: a uniform random delay in [0, max] added to every
-  /// timer armed by real code.
+  /// timer armed by real code while the fault is active; 0 disarms.
   void set_timer_jitter(sim_duration max) { timer_jitter_max_ = max; }
 
   /// Total bytes handed to the transport (protocol egress accounting).

@@ -1,0 +1,56 @@
+#include "fault/fault.hpp"
+
+#include "util/check.hpp"
+
+namespace dbsm::fault {
+
+site_set site_selector::resolve(unsigned sites) const {
+  site_set out;
+  switch (kind_) {
+    case kind::all:
+      for (unsigned i = 0; i < sites; ++i) out.push_back(i);
+      break;
+    case kind::odd:
+      for (unsigned i = 1; i < sites; i += 2) out.push_back(i);
+      break;
+    case kind::even:
+      for (unsigned i = 0; i < sites; i += 2) out.push_back(i);
+      break;
+    case kind::explicit_set:
+      for (unsigned i : sites_) {
+        DBSM_CHECK_MSG(i < sites, "fault targets site " << i
+                                      << " of a " << sites << "-site system");
+        out.push_back(i);
+      }
+      break;
+  }
+  return out;
+}
+
+void fault::disarm(injection_points&) {}
+
+scenario& scenario::add(fault_ptr f, sim_time start, sim_time stop) {
+  DBSM_CHECK(f != nullptr);
+  DBSM_CHECK(start >= 0);
+  DBSM_CHECK_MSG(stop > start, "fault window [start, stop) is empty");
+  events_.push_back({std::move(f), start, stop});
+  return *this;
+}
+
+void scenario::install(sim::simulator& sim, injection_points pts) const {
+  if (events_.empty()) return;
+  // Scheduled arm/disarm events share the bundle (and keep it alive).
+  auto shared = std::make_shared<injection_points>(std::move(pts));
+  for (const timed_fault& tf : events_) {
+    if (tf.start <= sim.now()) {
+      tf.f->arm(*shared);
+    } else {
+      sim.schedule_at(tf.start, [f = tf.f, shared] { f->arm(*shared); });
+    }
+    if (tf.stop != time_never) {
+      sim.schedule_at(tf.stop, [f = tf.f, shared] { f->disarm(*shared); });
+    }
+  }
+}
+
+}  // namespace dbsm::fault

@@ -1,28 +1,32 @@
 #include "fault/fault_plan.hpp"
 
-#include "net/loss_model.hpp"
+#include "fault/fault_types.hpp"
 #include "util/check.hpp"
 
 namespace dbsm::fault {
 
-void apply_loss(net::medium& net, node_id site, const plan& p) {
+scenario from_plan(const plan& p, std::string name) {
   DBSM_CHECK_MSG(!(p.random_loss > 0 && p.bursty_loss > 0),
                  "choose one loss model per run, as the paper does");
+  scenario s(std::move(name));
   if (p.random_loss > 0) {
-    // Loss is injected independently at each participant (§5.3).
-    net.set_rx_loss(site, net::random_loss(p.random_loss));
+    s.add(loss_fault::random(p.random_loss));
   } else if (p.bursty_loss > 0) {
-    net.set_rx_loss(site, net::bursty_loss(p.bursty_loss, p.burst_len));
+    s.add(loss_fault::bursty(p.bursty_loss, p.burst_len));
   }
-}
-
-void apply_timing(csrt::sim_env& env, unsigned site_index, const plan& p) {
-  if (p.clock_drift != 0 && (site_index % 2) == 1) {
-    env.set_clock_drift(p.clock_drift);
+  if (p.clock_drift != 0) {
+    s.add(std::make_shared<clock_drift_fault>(p.clock_drift,
+                                              site_selector::odd()));
   }
   if (p.sched_latency_max > 0) {
-    env.set_timer_jitter(p.sched_latency_max);
+    s.add(std::make_shared<sched_latency_fault>(p.sched_latency_max,
+                                                site_selector::all()));
   }
+  for (const crash_spec& c : p.crashes) {
+    s.add(std::make_shared<crash_fault>(site_selector{site_set{c.site}}),
+          c.at);
+  }
+  return s;
 }
 
 }  // namespace dbsm::fault

@@ -1,23 +1,30 @@
-// Fault injection plans (§5.3). "Faults are injected by intercepting calls
-// in and out of the runtime as well as by manipulating model state."
+// The paper's flat fault plan (§5.3) and its adapter onto the scenario
+// API (fault.hpp).
 //
-// Five fault types, as in the paper:
-//   clock drift        — timers postponed, measured durations shrunk;
-//   scheduling latency — random delay added to events scheduled ahead;
-//   random loss        — per-message drop at reception;
+// `plan` describes the five whole-run fault types exactly as the paper
+// injects them:
+//   clock drift        — timers postponed, measured durations shrunk,
+//                        applied to odd-numbered sites so clocks drift
+//                        relative to each other;
+//   scheduling latency — random delay added to events scheduled ahead,
+//                        at all sites;
+//   random loss        — per-message drop at reception, all sites;
 //   bursty loss        — alternating good/bad periods (congestion);
-//   crash              — node stops at a set time.
+//   crash              — a node stops at a set time.
 //
-// The helpers below act on the injection points (network medium, env
-// bridge); the experiment harness applies them per site and schedules
-// crashes on the cluster.
+// `from_plan` converts a plan into a `fault::scenario` whose execution is
+// event-for-event identical to the historical static application, so the
+// paper's campaigns keep reproducing their published shapes. New code
+// should compose `fault::scenario`s directly (fault_types.hpp,
+// scenarios.hpp) — targets and [start, stop) windows are inexpressible in
+// the flat plan.
 #ifndef DBSM_FAULT_FAULT_PLAN_HPP
 #define DBSM_FAULT_FAULT_PLAN_HPP
 
+#include <string>
 #include <vector>
 
-#include "csrt/sim_env.hpp"
-#include "net/medium.hpp"
+#include "fault/fault.hpp"
 #include "util/types.hpp"
 
 namespace dbsm::fault {
@@ -47,11 +54,10 @@ struct plan {
   }
 };
 
-/// Installs the plan's loss model at one receiving host.
-void apply_loss(net::medium& net, node_id site, const plan& p);
-
-/// Installs the plan's timing faults on one site's env bridge.
-void apply_timing(csrt::sim_env& env, unsigned site_index, const plan& p);
+/// Adapts a flat plan to the scenario API: loss and timing faults become
+/// whole-run faults (drift targeting odd sites, as the paper does), each
+/// crash a one-shot fault at its set time.
+scenario from_plan(const plan& p, std::string name = "plan");
 
 }  // namespace dbsm::fault
 

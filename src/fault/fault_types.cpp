@@ -1,0 +1,175 @@
+#include "fault/fault_types.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "csrt/sim_env.hpp"
+#include "net/medium.hpp"
+#include "util/check.hpp"
+
+namespace dbsm::fault {
+
+namespace {
+
+std::string fmt_sites_label(const char* what, const site_set& sites) {
+  std::ostringstream os;
+  os << what << " @sites{";
+  for (std::size_t i = 0; i < sites.size(); ++i)
+    os << (i ? "," : "") << sites[i];
+  os << "}";
+  return os.str();
+}
+
+/// Every (a, b) cross pair between the two sides.
+void for_each_cross_link(const site_set& a, const site_set& b,
+                         const std::function<void(unsigned, unsigned)>& fn) {
+  for (unsigned x : a)
+    for (unsigned y : b) fn(x, y);
+}
+
+/// Resolves the (A, B) sides of a group fault: an empty B means "every
+/// site not in A"; sides must be in range and disjoint.
+std::pair<site_set, site_set> resolve_sides(const site_set& side_a,
+                                            const site_set& side_b,
+                                            unsigned sites) {
+  DBSM_CHECK_MSG(!side_a.empty(), "group fault needs a non-empty side");
+  site_set a = side_a;
+  site_set b = side_b;
+  if (b.empty()) {
+    for (unsigned i = 0; i < sites; ++i)
+      if (std::find(a.begin(), a.end(), i) == a.end()) b.push_back(i);
+  }
+  for (unsigned x : a) {
+    DBSM_CHECK(x < sites);
+    DBSM_CHECK_MSG(std::find(b.begin(), b.end(), x) == b.end(),
+                   "group fault sides overlap at site " << x);
+  }
+  for (unsigned y : b) DBSM_CHECK(y < sites);
+  return {std::move(a), std::move(b)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- loss
+
+fault_ptr loss_fault::random(double probability, site_selector targets) {
+  std::ostringstream os;
+  os << "random_loss(" << probability << ")";
+  return std::make_shared<loss_fault>(
+      os.str(), std::move(targets),
+      [probability] { return net::random_loss(probability); });
+}
+
+fault_ptr loss_fault::bursty(double avg_loss_rate, double mean_burst_len,
+                             site_selector targets) {
+  std::ostringstream os;
+  os << "bursty_loss(" << avg_loss_rate << ",len" << mean_burst_len << ")";
+  return std::make_shared<loss_fault>(
+      os.str(), std::move(targets), [avg_loss_rate, mean_burst_len] {
+        return net::bursty_loss(avg_loss_rate, mean_burst_len);
+      });
+}
+
+void loss_fault::arm(injection_points& pts) {
+  DBSM_CHECK(pts.net != nullptr);
+  // Loss is injected independently at each participant (§5.3): one fresh
+  // model per target receiver.
+  for (unsigned site : targets_.resolve(pts.sites()))
+    pts.net->set_rx_loss(site, make_());
+}
+
+void loss_fault::disarm(injection_points& pts) {
+  DBSM_CHECK(pts.net != nullptr);
+  for (unsigned site : targets_.resolve(pts.sites()))
+    pts.net->set_rx_loss(site, nullptr);
+}
+
+// --------------------------------------------------------------- timing
+
+std::string clock_drift_fault::name() const {
+  std::ostringstream os;
+  os << "clock_drift(" << rate_ << ")";
+  return os.str();
+}
+
+void clock_drift_fault::arm(injection_points& pts) {
+  for (unsigned site : targets_.resolve(pts.sites()))
+    pts.envs.at(site)->set_clock_drift(rate_);
+}
+
+void clock_drift_fault::disarm(injection_points& pts) {
+  for (unsigned site : targets_.resolve(pts.sites()))
+    pts.envs.at(site)->set_clock_drift(0.0);
+}
+
+std::string sched_latency_fault::name() const {
+  std::ostringstream os;
+  os << "sched_latency(<=" << to_millis(max_) << "ms)";
+  return os.str();
+}
+
+void sched_latency_fault::arm(injection_points& pts) {
+  for (unsigned site : targets_.resolve(pts.sites()))
+    pts.envs.at(site)->set_timer_jitter(max_);
+}
+
+void sched_latency_fault::disarm(injection_points& pts) {
+  for (unsigned site : targets_.resolve(pts.sites()))
+    pts.envs.at(site)->set_timer_jitter(0);
+}
+
+// ---------------------------------------------------------------- crash
+
+std::string crash_fault::name() const { return "crash"; }
+
+void crash_fault::arm(injection_points& pts) {
+  DBSM_CHECK_MSG(pts.crash, "no crash hook in the injection points");
+  for (unsigned site : targets_.resolve(pts.sites())) pts.crash(site);
+}
+
+// ------------------------------------------------------- partition/delay
+
+std::pair<site_set, site_set> partition_fault::sides(unsigned sites) const {
+  return resolve_sides(side_a_, side_b_, sites);
+}
+
+std::string partition_fault::name() const {
+  return fmt_sites_label("partition", side_a_);
+}
+
+void partition_fault::arm(injection_points& pts) {
+  DBSM_CHECK(pts.net != nullptr);
+  const auto [a, b] = sides(pts.sites());
+  for_each_cross_link(a, b, [&](unsigned x, unsigned y) {
+    pts.net->set_link_cut(x, y, true);
+  });
+}
+
+void partition_fault::disarm(injection_points& pts) {
+  DBSM_CHECK(pts.net != nullptr);
+  const auto [a, b] = sides(pts.sites());
+  for_each_cross_link(a, b, [&](unsigned x, unsigned y) {
+    pts.net->set_link_cut(x, y, false);
+  });
+}
+
+std::string link_delay_fault::name() const {
+  std::ostringstream os;
+  os << fmt_sites_label("link_delay", side_a_) << "+" << to_millis(extra_)
+     << "ms";
+  return os.str();
+}
+
+void link_delay_fault::apply(injection_points& pts, sim_duration extra) {
+  DBSM_CHECK(pts.net != nullptr);
+  const auto [a, b] = resolve_sides(side_a_, side_b_, pts.sites());
+  for_each_cross_link(a, b, [&](unsigned x, unsigned y) {
+    pts.net->set_link_extra_delay(x, y, extra);
+  });
+}
+
+void link_delay_fault::arm(injection_points& pts) { apply(pts, extra_); }
+
+void link_delay_fault::disarm(injection_points& pts) { apply(pts, 0); }
+
+}  // namespace dbsm::fault

@@ -1,0 +1,144 @@
+// The concrete fault library (§5.3 plus the fault families the
+// dependability literature exercises beyond the paper):
+//
+//   loss_fault          — per-message drop at reception (random or bursty),
+//                         windowable for transient loss bursts;
+//   clock_drift_fault   — timers postponed, measured durations shrunk;
+//   sched_latency_fault — random delay added to every timer armed;
+//   crash_fault         — crash-stop of the target sites (one-shot);
+//   partition_fault     — symmetric link cut between two host groups,
+//                         healed at window end;
+//   link_delay_fault    — extra one-way delay on every cross-group link
+//                         (slow path / degraded switch).
+//
+// Every fault takes a target-site selection; network group faults take the
+// two sides explicitly (an empty second side means "everyone else").
+#ifndef DBSM_FAULT_FAULT_TYPES_HPP
+#define DBSM_FAULT_FAULT_TYPES_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "net/loss_model.hpp"
+
+namespace dbsm::fault {
+
+/// Installs a loss model at each target receiver for the fault window.
+/// A fresh model is built per arm so repeated windows (and repeated runs
+/// sharing one scenario object) start from identical model state.
+class loss_fault final : public fault {
+ public:
+  using model_factory = std::function<std::shared_ptr<net::loss_model>()>;
+
+  loss_fault(std::string label, site_selector targets, model_factory make)
+      : label_(std::move(label)), targets_(std::move(targets)),
+        make_(std::move(make)) {}
+
+  /// "Random loss: each message is discarded upon reception with the
+  /// specified probability."
+  static fault_ptr random(double probability,
+                          site_selector targets = site_selector::all());
+  /// "Bursty loss: alternate periods in which messages are received or
+  /// discarded."
+  static fault_ptr bursty(double avg_loss_rate, double mean_burst_len,
+                          site_selector targets = site_selector::all());
+
+  std::string name() const override { return label_; }
+  void arm(injection_points& pts) override;
+  void disarm(injection_points& pts) override;
+
+ private:
+  std::string label_;
+  site_selector targets_;
+  model_factory make_;
+};
+
+/// Clock drift on the target sites (the paper drifts odd-numbered sites so
+/// clocks drift relative to each other — pass site_selector::odd()).
+class clock_drift_fault final : public fault {
+ public:
+  clock_drift_fault(double rate, site_selector targets)
+      : rate_(rate), targets_(std::move(targets)) {}
+
+  std::string name() const override;
+  void arm(injection_points& pts) override;
+  void disarm(injection_points& pts) override;
+
+ private:
+  double rate_;
+  site_selector targets_;
+};
+
+/// Scheduling latency: uniform random delay in [0, max] added to every
+/// timer armed by protocol code at the target sites.
+class sched_latency_fault final : public fault {
+ public:
+  sched_latency_fault(sim_duration max, site_selector targets)
+      : max_(max), targets_(std::move(targets)) {}
+
+  std::string name() const override;
+  void arm(injection_points& pts) override;
+  void disarm(injection_points& pts) override;
+
+ private:
+  sim_duration max_;
+  site_selector targets_;
+};
+
+/// Crash-stop of the target sites at window start. One-shot: recovery is
+/// out of scope (as in the paper's experiments), so disarm is a no-op.
+class crash_fault final : public fault {
+ public:
+  explicit crash_fault(site_selector targets) : targets_(std::move(targets)) {}
+
+  std::string name() const override;
+  void arm(injection_points& pts) override;
+
+ private:
+  site_selector targets_;
+};
+
+/// Network partition: cuts every link between side A and side B for the
+/// fault window, then heals. An empty side B means "every site not in A".
+/// In-flight datagrams crossing a cut link at reception time are dropped.
+class partition_fault final : public fault {
+ public:
+  explicit partition_fault(site_set side_a, site_set side_b = {})
+      : side_a_(std::move(side_a)), side_b_(std::move(side_b)) {}
+
+  std::string name() const override;
+  void arm(injection_points& pts) override;
+  void disarm(injection_points& pts) override;
+
+ private:
+  /// The resolved (A, B) pair for this system size.
+  std::pair<site_set, site_set> sides(unsigned sites) const;
+
+  site_set side_a_;
+  site_set side_b_;
+};
+
+/// Degraded path: extra one-way delay on every link between side A and
+/// side B (empty side B = everyone else) for the fault window.
+class link_delay_fault final : public fault {
+ public:
+  link_delay_fault(sim_duration extra, site_set side_a, site_set side_b = {})
+      : extra_(extra), side_a_(std::move(side_a)), side_b_(std::move(side_b)) {}
+
+  std::string name() const override;
+  void arm(injection_points& pts) override;
+  void disarm(injection_points& pts) override;
+
+ private:
+  void apply(injection_points& pts, sim_duration extra);
+
+  sim_duration extra_;
+  site_set side_a_;
+  site_set side_b_;
+};
+
+}  // namespace dbsm::fault
+
+#endif  // DBSM_FAULT_FAULT_TYPES_HPP

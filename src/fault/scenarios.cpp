@@ -1,0 +1,109 @@
+#include "fault/scenarios.hpp"
+
+#include <cstring>
+
+#include "fault/fault_plan.hpp"
+#include "fault/fault_types.hpp"
+#include "util/check.hpp"
+
+namespace dbsm::fault::scenarios {
+
+scenario no_faults(const params&) { return scenario("no_faults"); }
+
+scenario clock_drift(const params&) {
+  plan p;
+  p.clock_drift = 0.10;
+  return from_plan(p, "clock_drift");
+}
+
+scenario sched_latency(const params&) {
+  plan p;
+  p.sched_latency_max = milliseconds(5);
+  return from_plan(p, "sched_latency");
+}
+
+scenario random_loss(const params&) {
+  plan p;
+  p.random_loss = 0.05;
+  return from_plan(p, "random_loss");
+}
+
+scenario bursty_loss(const params&) {
+  plan p;
+  p.bursty_loss = 0.05;
+  p.burst_len = 5;
+  return from_plan(p, "bursty_loss");
+}
+
+scenario crash(const params& p) {
+  DBSM_CHECK(p.sites >= 2);
+  plan pl;
+  pl.crashes.push_back({p.sites - 1, p.onset});
+  return from_plan(pl, "crash");
+}
+
+scenario partition_minority(const params& p) {
+  DBSM_CHECK(p.sites >= 3);
+  scenario s("partition_minority");
+  s.add(std::make_shared<partition_fault>(site_set{p.sites - 1}), p.onset,
+        p.onset + 4 * p.exclusion_timeout);
+  return s;
+}
+
+scenario flaky_switch(const params& p) {
+  scenario s("flaky_switch");
+  for (int k = 0; k < 6; ++k) {
+    const sim_time start = p.onset + k * seconds(4);
+    s.add(loss_fault::random(0.25), start, start + seconds(1));
+  }
+  return s;
+}
+
+scenario slow_replica(const params& p) {
+  DBSM_CHECK(p.sites >= 2);
+  scenario s("slow_replica");
+  s.add(std::make_shared<sched_latency_fault>(
+      milliseconds(20), site_selector{site_set{p.sites - 1}}));
+  return s;
+}
+
+scenario cascading_crashes(const params& p) {
+  DBSM_CHECK_MSG(p.sites >= 5,
+                 "cascading_crashes kills two sites; a majority must "
+                 "survive both");
+  scenario s("cascading_crashes");
+  s.add(std::make_shared<crash_fault>(site_selector{site_set{p.sites - 1}}),
+        p.onset);
+  s.add(std::make_shared<crash_fault>(site_selector{site_set{p.sites - 2}}),
+        p.onset + seconds(15));
+  return s;
+}
+
+const std::vector<catalog_entry>& catalog() {
+  static const std::vector<catalog_entry> entries = {
+      {"no_faults", "fault-free baseline", 1, true, &no_faults},
+      {"clock_drift", "10% drift on odd sites", 2, true, &clock_drift},
+      {"sched_latency", "<=5ms timer delay, all sites", 1, true,
+       &sched_latency},
+      {"random_loss", "5% per-message loss", 2, true, &random_loss},
+      {"bursty_loss", "5% loss in bursts (len 5)", 2, true, &bursty_loss},
+      {"crash", "last site crashes at onset", 3, true, &crash},
+      {"partition_minority", "cut last site, heal after exclusion", 3, true,
+       &partition_minority},
+      {"flaky_switch", "repeating 1s bursts of 25% loss", 2, false,
+       &flaky_switch},
+      {"slow_replica", "sustained 20ms sched latency on one site", 2, true,
+       &slow_replica},
+      {"cascading_crashes", "two crashes 15s apart", 5, false,
+       &cascading_crashes},
+  };
+  return entries;
+}
+
+const catalog_entry* find(std::string_view name) {
+  for (const catalog_entry& e : catalog())
+    if (name == e.name) return &e;
+  return nullptr;
+}
+
+}  // namespace dbsm::fault::scenarios

@@ -1,0 +1,72 @@
+// Named fault-scenario library: the paper's five §5.3 campaigns (built
+// through the from_plan adapter so they reproduce the published shapes)
+// plus the composed/timed scenarios the flat plan could not express.
+//
+// Each catalog entry is a factory over `params` (system size, fault onset,
+// the GCS exclusion timeout) so one scenario definition scales to any
+// experiment; `min_sites` tells the caller how many sites the scenario
+// needs to be meaningful (e.g. cascading_crashes must leave a majority).
+#ifndef DBSM_FAULT_SCENARIOS_HPP
+#define DBSM_FAULT_SCENARIOS_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.hpp"
+
+namespace dbsm::fault::scenarios {
+
+/// Knobs shared by the named scenarios.
+struct params {
+  /// Sites in the experiment the scenario will be installed into.
+  unsigned sites = 3;
+  /// When the first timed fault strikes (whole-run faults ignore it).
+  sim_time onset = seconds(30);
+  /// The failure detector's suspicion timeout (gcs::group_config
+  /// suspect_timeout): partition_minority heals a few multiples after it
+  /// so the cut side is excluded before connectivity returns.
+  sim_duration exclusion_timeout = milliseconds(300);
+};
+
+// --- the paper's five (§5.3), via the from_plan adapter ---
+scenario no_faults(const params& p = {});
+scenario clock_drift(const params& p = {});    // 10% drift, odd sites
+scenario sched_latency(const params& p = {});  // <=5ms, all sites
+scenario random_loss(const params& p = {});    // 5%
+scenario bursty_loss(const params& p = {});    // 5%, mean burst 5
+scenario crash(const params& p = {});          // last site at onset
+
+// --- composed / timed scenarios beyond the flat plan ---
+/// Cuts the highest site off the rest at onset, heals 4 exclusion
+/// timeouts later: the majority excludes it and keeps committing, the
+/// minority blocks (primary-partition rule) instead of split-braining.
+scenario partition_minority(const params& p = {});
+/// Repeating transient loss bursts (a flapping switch port): 25% random
+/// loss for 1s, every 4s, six times from onset.
+scenario flaky_switch(const params& p = {});
+/// One chronically slow site: sustained scheduling latency (<=20ms) on
+/// the highest site for the whole run.
+scenario slow_replica(const params& p = {});
+/// Two crashes 15s apart starting at onset, killing the two highest
+/// sites; needs >= 5 sites so a majority survives both.
+scenario cascading_crashes(const params& p = {});
+
+struct catalog_entry {
+  const char* name;
+  const char* description;
+  /// Minimum system size for the scenario to be meaningful.
+  unsigned min_sites;
+  /// True for the scenarios the default fault_injection campaign runs.
+  bool in_default_campaign;
+  scenario (*make)(const params&);
+};
+
+/// Every named scenario, in campaign order.
+const std::vector<catalog_entry>& catalog();
+
+/// Looks a scenario up by name; nullptr if unknown.
+const catalog_entry* find(std::string_view name);
+
+}  // namespace dbsm::fault::scenarios
+
+#endif  // DBSM_FAULT_SCENARIOS_HPP

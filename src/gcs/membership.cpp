@@ -23,6 +23,10 @@ std::vector<node_id> membership::alive_members() const {
   return out;
 }
 
+bool membership::is_primary(std::size_t members) const {
+  return members * 2 > current_.members.size();
+}
+
 void membership::suspect(node_id n) {
   if (n == env_.self() || suspected_.count(n)) return;
   if (!current_.contains(n)) return;
@@ -45,6 +49,18 @@ void membership::start_change() {
 
 void membership::propose() {
   const auto alive = alive_members();
+  // Primary-partition rule: only a majority of the current view may form
+  // the next one. A minority side (a partitioned node suspecting everyone
+  // else) stalls with sends stopped — it must not install a solo view and
+  // split-brain the committed sequence. The retry timer keeps firing, so
+  // it recovers if suspicions turn out wrong before exclusion.
+  if (!is_primary(alive.size())) {
+    DBSM_LOG(info, "gcs.membership",
+             "node " << env_.self() << " in minority (" << alive.size()
+                     << "/" << current_.members.size()
+                     << "), withholding view proposal");
+    return;
+  }
   pending_view_ = std::max(pending_view_, current_.id) + 1;
   pending_members_ = alive;
   coordinator_ = env_.self();
@@ -64,6 +80,7 @@ void membership::propose() {
 
 void membership::on_propose(const view_propose_msg& m) {
   if (m.new_view_id <= current_.id) return;  // stale
+  if (!is_primary(m.proposed_members.size())) return;  // minority view
   if (changing_ && (m.new_view_id < pending_view_ ||
                     (m.new_view_id == pending_view_ &&
                      m.hdr.sender > coordinator_)))

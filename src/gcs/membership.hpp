@@ -7,7 +7,9 @@
 // The protocol tolerates lost control messages (periodic retry with fresh
 // view ids) and coordinator crashes (takeover by the next lowest id).
 // Membership only ever shrinks (crash-stop; recovery is out of scope, as
-// in the paper's experiments).
+// in the paper's experiments), and only a primary partition — a majority
+// of the current view — may install the next view: a minority side stalls
+// with sends stopped rather than split-braining the committed sequence.
 #ifndef DBSM_GCS_MEMBERSHIP_HPP
 #define DBSM_GCS_MEMBERSHIP_HPP
 
@@ -67,6 +69,9 @@ class membership {
 
  private:
   std::vector<node_id> alive_members() const;
+  /// Primary-partition rule: true iff `members` sites are a majority of
+  /// the current view, i.e. allowed to form the next view.
+  bool is_primary(std::size_t members) const;
   void start_change();
   void propose();
   void maybe_send_cut();

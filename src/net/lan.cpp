@@ -27,6 +27,17 @@ void lan::set_rx_loss(node_id node, std::shared_ptr<loss_model> model) {
 
 void lan::isolate(node_id node) { hosts_.at(node).isolated = true; }
 
+void lan::set_link_cut(node_id a, node_id b, bool cut) {
+  DBSM_CHECK(a < hosts_.size() && b < hosts_.size());
+  link_faults_.set_cut(a, b, cut);
+}
+
+void lan::set_link_extra_delay(node_id a, node_id b, sim_duration extra) {
+  DBSM_CHECK(a < hosts_.size() && b < hosts_.size());
+  DBSM_CHECK(extra >= 0);
+  link_faults_.set_extra_delay(a, b, extra);
+}
+
 void lan::set_tracer(trace_fn fn) { tracer_ = std::move(fn); }
 
 std::uint64_t lan::wire_bytes_sent(node_id node) const {
@@ -45,6 +56,10 @@ std::uint64_t lan::overflow_drops(node_id node) const {
 
 std::uint64_t lan::injected_losses(node_id node) const {
   return hosts_.at(node).injected_lost;
+}
+
+std::uint64_t lan::link_cut_drops(node_id node) const {
+  return hosts_.at(node).cut_dropped;
 }
 
 std::size_t lan::frame_count(std::size_t payload) const {
@@ -87,6 +102,8 @@ void lan::deliver(node_id from, node_id to, util::shared_bytes payload,
                   sim_time at_switch) {
   host& dest = hosts_.at(to);
   if (dest.isolated) return;
+  if (!link_faults_.empty())
+    at_switch += link_faults_.extra_delay(from, to);
   const std::size_t wire = wire_size(payload->size());
   const sim_time start = std::max(at_switch, dest.rx_free_at);
   const sim_time rx_end = start + serialization_time(wire);
@@ -94,6 +111,11 @@ void lan::deliver(node_id from, node_id to, util::shared_bytes payload,
   sim_.schedule_at(rx_end, [this, from, to, payload] {
     host& h = hosts_.at(to);
     if (h.isolated) return;
+    if (link_faults_.cut(from, to)) {
+      ++h.cut_dropped;
+      if (tracer_) tracer_('l', from, to, payload->size(), sim_.now());
+      return;
+    }
     if (h.rx_loss && h.rx_loss->drop(rng_)) {
       ++h.injected_lost;
       if (tracer_) tracer_('l', from, to, payload->size(), sim_.now());

@@ -56,6 +56,8 @@ class lan final : public medium {
   }
   void set_rx_loss(node_id node, std::shared_ptr<loss_model> model) override;
   void isolate(node_id node) override;
+  void set_link_cut(node_id a, node_id b, bool cut) override;
+  void set_link_extra_delay(node_id a, node_id b, sim_duration extra) override;
   std::uint64_t wire_bytes_sent(node_id node) const override;
   std::uint64_t total_wire_bytes() const override;
   void set_tracer(trace_fn fn) override;
@@ -64,6 +66,8 @@ class lan final : public medium {
   std::uint64_t overflow_drops(node_id node) const;
   /// Datagrams discarded by the injected loss model at this receiver.
   std::uint64_t injected_losses(node_id node) const;
+  /// Datagrams discarded at this receiver because their link was cut.
+  std::uint64_t link_cut_drops(node_id node) const;
 
  private:
   struct host {
@@ -76,6 +80,7 @@ class lan final : public medium {
     std::uint64_t wire_bytes = 0;
     std::uint64_t overflow = 0;
     std::uint64_t injected_lost = 0;
+    std::uint64_t cut_dropped = 0;
   };
 
   /// Wire bytes of a datagram of `payload` bytes, all frames included.
@@ -95,6 +100,7 @@ class lan final : public medium {
   lan_config cfg_;
   util::rng rng_;
   std::vector<host> hosts_;
+  link_fault_map link_faults_;
   trace_fn tracer_;
 };
 

@@ -3,14 +3,17 @@
 // A medium connects hosts, moves unreliable unordered datagrams between
 // them, models wire-level timing (serialization, queueing, switch latency,
 // MTU fragmentation) and exposes the injection points used for fault
-// injection (per-receiver loss models, host crash isolation) and the
-// counters behind Fig 6(c).
+// injection (per-receiver loss models, host crash isolation, symmetric
+// link cuts for partitions, per-link extra delay) and the counters behind
+// Fig 6(c).
 #ifndef DBSM_NET_MEDIUM_HPP
 #define DBSM_NET_MEDIUM_HPP
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 
 #include "net/loss_model.hpp"
 #include "util/byte_buffer.hpp"
@@ -56,6 +59,18 @@ class medium {
   /// Isolates a crashed host: nothing in, nothing out, from now on.
   virtual void isolate(node_id node) = 0;
 
+  /// Cuts (or heals) the symmetric link between two hosts: datagrams whose
+  /// delivery would cross a cut link are discarded at reception time, so a
+  /// cut also kills traffic already in flight. Network partitions are sets
+  /// of cut links between two host groups.
+  virtual void set_link_cut(node_id a, node_id b, bool cut) = 0;
+
+  /// Adds extra one-way delay (both directions) to datagrams crossing the
+  /// link between two hosts; 0 restores nominal timing. Models a degraded
+  /// path without dropping traffic.
+  virtual void set_link_extra_delay(node_id a, node_id b,
+                                    sim_duration extra) = 0;
+
   /// Wire-level bytes transmitted by `node` (payload + all header overhead).
   virtual std::uint64_t wire_bytes_sent(node_id node) const = 0;
   /// Sum of wire bytes transmitted by all hosts.
@@ -63,6 +78,39 @@ class medium {
 
   /// Installs a trace hook (pass nullptr to disable).
   virtual void set_tracer(trace_fn fn) = 0;
+};
+
+/// Per-link fault state (cut + extra delay) keyed by unordered host pair;
+/// shared by the medium implementations.
+class link_fault_map {
+ public:
+  void set_cut(node_id a, node_id b, bool cut) { entry_for(a, b).cut = cut; }
+  void set_extra_delay(node_id a, node_id b, sim_duration extra) {
+    entry_for(a, b).extra_delay = extra;
+  }
+  bool cut(node_id a, node_id b) const {
+    const auto it = links_.find(key(a, b));
+    return it != links_.end() && it->second.cut;
+  }
+  sim_duration extra_delay(node_id a, node_id b) const {
+    const auto it = links_.find(key(a, b));
+    return it == links_.end() ? 0 : it->second.extra_delay;
+  }
+  /// Fast path: no link fault was ever installed.
+  bool empty() const { return links_.empty(); }
+
+ private:
+  struct entry {
+    bool cut = false;
+    sim_duration extra_delay = 0;
+  };
+  static std::uint64_t key(node_id a, node_id b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+  entry& entry_for(node_id a, node_id b) { return links_[key(a, b)]; }
+
+  std::unordered_map<std::uint64_t, entry> links_;
 };
 
 }  // namespace dbsm::net

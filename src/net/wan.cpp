@@ -29,6 +29,17 @@ void wan::set_rx_loss(node_id node, std::shared_ptr<loss_model> model) {
 
 void wan::isolate(node_id node) { hosts_.at(node).isolated = true; }
 
+void wan::set_link_cut(node_id a, node_id b, bool cut) {
+  DBSM_CHECK(a < hosts_.size() && b < hosts_.size());
+  link_faults_.set_cut(a, b, cut);
+}
+
+void wan::set_link_extra_delay(node_id a, node_id b, sim_duration extra) {
+  DBSM_CHECK(a < hosts_.size() && b < hosts_.size());
+  DBSM_CHECK(extra >= 0);
+  link_faults_.set_extra_delay(a, b, extra);
+}
+
 void wan::set_tracer(trace_fn fn) { tracer_ = std::move(fn); }
 
 void wan::set_latency(node_id a, node_id b, sim_duration one_way) {
@@ -80,10 +91,15 @@ void wan::transmit_one(node_id from, node_id to,
     DBSM_CHECK(h.tx_queued_bytes >= sz);
     h.tx_queued_bytes -= sz;
   });
-  const sim_time arrive = tx_end + latency(from, to);
+  sim_time arrive = tx_end + latency(from, to);
+  if (!link_faults_.empty()) arrive += link_faults_.extra_delay(from, to);
   sim_.schedule_at(arrive, [this, from, to, payload] {
     host& h = hosts_.at(to);
     if (h.isolated) return;
+    if (link_faults_.cut(from, to)) {
+      if (tracer_) tracer_('l', from, to, payload->size(), sim_.now());
+      return;
+    }
     if (h.rx_loss && h.rx_loss->drop(rng_)) {
       if (tracer_) tracer_('l', from, to, payload->size(), sim_.now());
       return;

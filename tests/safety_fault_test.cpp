@@ -1,24 +1,26 @@
 // The paper's §5.3 safety property as a parameterized test: under every
-// fault type (clock drift, scheduling latency, random loss, bursty loss,
-// crash — and combinations), all operational sites commit exactly the same
-// sequence of transactions.
+// fault scenario (clock drift, scheduling latency, random loss, bursty
+// loss, crash, combinations — and the timed scenarios the flat plan could
+// not express: partitions with healing, transient loss windows), all
+// operational sites commit exactly the same sequence of transactions.
 #include <gtest/gtest.h>
 
 #include "core/experiment.hpp"
+#include "fault/fault_types.hpp"
 
 namespace dbsm::core {
 namespace {
 
 struct fault_case {
   const char* name;
-  fault::plan plan;
+  fault::scenario scenario;
   unsigned sites;
   unsigned clients;
 };
 
-fault_case make_case(const char* name, fault::plan p, unsigned sites = 3,
+fault_case make_case(const char* name, fault::scenario s, unsigned sites = 3,
                      unsigned clients = 30) {
-  return fault_case{name, std::move(p), sites, clients};
+  return fault_case{name, std::move(s), sites, clients};
 }
 
 std::vector<fault_case> all_cases() {
@@ -27,45 +29,78 @@ std::vector<fault_case> all_cases() {
   {
     fault::plan p;
     p.random_loss = 0.05;
-    cases.push_back(make_case("random_loss_5", p));
+    cases.push_back(make_case("random_loss_5", fault::from_plan(p)));
   }
   {
     fault::plan p;
     p.random_loss = 0.15;
-    cases.push_back(make_case("random_loss_15", p));
+    cases.push_back(make_case("random_loss_15", fault::from_plan(p)));
   }
   {
     fault::plan p;
     p.bursty_loss = 0.05;
     p.burst_len = 5;
-    cases.push_back(make_case("bursty_loss_5", p));
+    cases.push_back(make_case("bursty_loss_5", fault::from_plan(p)));
   }
   {
     fault::plan p;
     p.clock_drift = 0.10;
-    cases.push_back(make_case("clock_drift_10pct", p));
+    cases.push_back(make_case("clock_drift_10pct", fault::from_plan(p)));
   }
   {
     fault::plan p;
     p.sched_latency_max = milliseconds(5);
-    cases.push_back(make_case("sched_latency_5ms", p));
+    cases.push_back(make_case("sched_latency_5ms", fault::from_plan(p)));
   }
   {
     fault::plan p;
     p.crashes.push_back({2, seconds(20)});
-    cases.push_back(make_case("crash_one_site", p));
+    cases.push_back(make_case("crash_one_site", fault::from_plan(p)));
   }
   {
     fault::plan p;
     p.random_loss = 0.05;
     p.crashes.push_back({1, seconds(20)});
-    cases.push_back(make_case("crash_under_loss", p, 4, 40));
+    cases.push_back(make_case("crash_under_loss", fault::from_plan(p), 4, 40));
   }
   {
     fault::plan p;
     p.clock_drift = 0.05;
     p.sched_latency_max = milliseconds(2);
-    cases.push_back(make_case("drift_plus_latency", p));
+    cases.push_back(make_case("drift_plus_latency", fault::from_plan(p)));
+  }
+  // --- timed/composed scenarios, inexpressible in the flat plan ---
+  {
+    // Site 2 is cut off well past the suspicion timeout, then the
+    // partition heals: the majority excludes it and keeps committing; the
+    // minority must stall (primary partition) rather than split-brain.
+    fault::scenario s("partition_then_heal");
+    s.add(std::make_shared<fault::partition_fault>(fault::site_set{2}),
+          seconds(10), seconds(14));
+    cases.push_back(make_case("partition_then_heal", std::move(s)));
+  }
+  {
+    // The cut heals before the suspicion timeout fires: a purely
+    // transient partition the reliability layer rides out with NAKs.
+    fault::scenario s("partition_blip");
+    s.add(std::make_shared<fault::partition_fault>(fault::site_set{2}),
+          seconds(10), seconds(10) + milliseconds(150));
+    cases.push_back(make_case("partition_blip", std::move(s)));
+  }
+  {
+    // Heavy loss confined to a window: clean before and after.
+    fault::scenario s("transient_loss_window");
+    s.add(fault::loss_fault::random(0.30), seconds(5), seconds(15));
+    cases.push_back(make_case("transient_loss_window", std::move(s)));
+  }
+  {
+    // Overlapping windows: a loss burst over a sustained slow replica.
+    fault::scenario s("slow_replica_plus_loss_burst");
+    s.add(std::make_shared<fault::sched_latency_fault>(
+        milliseconds(10), fault::site_selector{fault::site_set{2}}));
+    s.add(fault::loss_fault::random(0.20), seconds(8), seconds(12));
+    cases.push_back(
+        make_case("slow_replica_plus_loss_burst", std::move(s)));
   }
   return cases;
 }
@@ -81,7 +116,7 @@ TEST_P(safety_under_faults, operational_sites_agree) {
   cfg.target_responses = 250;
   cfg.max_sim_time = seconds(400);
   cfg.seed = 1234;
-  cfg.faults = fc.plan;
+  cfg.faults = fc.scenario;
 
   const auto result = run_experiment(cfg);
 
@@ -125,7 +160,9 @@ TEST(safety_fault, loss_increases_abort_rate) {
   auto none = run_experiment(base);
 
   auto random_cfg = base;
-  random_cfg.faults.random_loss = 0.05;
+  fault::plan loss;
+  loss.random_loss = 0.05;
+  random_cfg.faults = fault::from_plan(loss);
   auto random = run_experiment(random_cfg);
 
   EXPECT_TRUE(none.safety.ok);
@@ -134,6 +171,27 @@ TEST(safety_fault, loss_increases_abort_rate) {
             none.stats.abort_rate_pct());
   // Loss engages retransmission machinery.
   EXPECT_GT(random.retransmissions, none.retransmissions);
+}
+
+TEST(safety_fault, excluding_partition_changes_view_and_stays_safe) {
+  // The partition that outlives the suspicion timeout must produce a view
+  // change on the majority side, and the healed minority must not have
+  // committed anything beyond the common prefix.
+  experiment_config cfg;
+  cfg.sites = 3;
+  cfg.clients = 30;
+  cfg.target_responses = 250;
+  cfg.max_sim_time = seconds(400);
+  cfg.seed = 99;
+  fault::scenario s("partition_then_heal");
+  s.add(std::make_shared<fault::partition_fault>(fault::site_set{2}),
+        seconds(10), seconds(14));
+  cfg.faults = s;
+
+  const auto result = run_experiment(cfg);
+  EXPECT_TRUE(result.safety.ok) << result.safety.detail;
+  EXPECT_GE(result.view_changes, 1u);
+  EXPECT_GT(result.stats.total_committed(), 50u);
 }
 
 }  // namespace
