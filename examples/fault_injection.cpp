@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
 
   util::text_table t;
   t.header({"Scenario", "Sites", "Committed", "Abort %", "p99 lat (ms)",
-            "Retx", "Views", "Safety"});
+            "Retx", "Views", "Rejoined", "Safety"});
   bool all_safe = true;
   for (const auto* e : selected) {
     fault::scenarios::params prm;
@@ -68,16 +68,34 @@ int main(int argc, char** argv) {
     cfg.max_sim_time = seconds(900);
     cfg.seed = flags.get_u64("seed");
     cfg.faults = e->make(prm);
+    cfg.enable_recovery = e->needs_recovery;
     std::fprintf(stderr, "[fault_injection] %s ...\n", e->name);
     const auto r = core::run_experiment(cfg);
-    all_safe = all_safe && r.safety.ok;
+
+    bool ok = r.safety.ok;
+    if (e->needs_recovery) {
+      // A rejoin scenario must end with every recovered site back in the
+      // view and converged: its log within one in-flight window of the
+      // longest (its prefix consistency is the safety check above).
+      std::uint64_t longest = 0;
+      for (const auto& s : r.sites)
+        longest = std::max(longest, s.committed_log);
+      if (r.rejoined_sites() == 0) ok = false;
+      for (const auto& s : r.sites) {
+        if (s.state == core::cluster::site_status::rejoined &&
+            s.committed_log + 50 < longest)
+          ok = false;  // non-convergent joiner
+      }
+    }
+    all_safe = all_safe && ok;
     t.row({e->name, util::fmt(static_cast<std::int64_t>(cfg.sites)),
            util::fmt(r.stats.total_committed()),
            util::fmt(r.stats.abort_rate_pct(), 2),
            util::fmt(r.stats.pooled_latency_ms().quantile(0.99), 1),
            util::fmt(static_cast<std::int64_t>(r.retransmissions)),
            util::fmt(static_cast<std::int64_t>(r.view_changes)),
-           r.safety.ok ? "ok" : "VIOLATED"});
+           util::fmt(static_cast<std::int64_t>(r.rejoined_sites())),
+           !r.safety.ok ? "VIOLATED" : (ok ? "ok" : "NO REJOIN")});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("\n%s\n", all_safe

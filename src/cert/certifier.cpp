@@ -86,4 +86,48 @@ bool certifier::certify_read_only(
   return !conflict;
 }
 
+void certifier::snapshot(util::buffer_writer& w) const {
+  w.put_u64(position_);
+  w.put_u64(oldest_retained_);
+  w.put_u64(commits_);
+  w.put_u64(aborts_);
+  auto put_entries = [&w](const std::deque<entry>& entries) {
+    w.put_u32(static_cast<std::uint32_t>(entries.size()));
+    for (const entry& e : entries) {
+      w.put_u64(e.pos);
+      w.put_u32(static_cast<std::uint32_t>(e.write_set.size()));
+      for (const db::item_id id : e.write_set) w.put_u64(id);
+    }
+  };
+  put_entries(evicted_);
+  put_entries(history_);
+}
+
+void certifier::restore(util::buffer_reader& r) {
+  DBSM_CHECK_MSG(position_ == 0, "restore() needs a fresh certifier");
+  position_ = r.get_u64();
+  oldest_retained_ = r.get_u64();
+  commits_ = r.get_u64();
+  aborts_ = r.get_u64();
+  auto get_entries = [&r](std::deque<entry>& entries) {
+    const std::uint32_t n = r.get_u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      entry e;
+      e.pos = r.get_u64();
+      const std::uint32_t items = r.get_u32();
+      e.write_set.reserve(items);
+      for (std::uint32_t j = 0; j < items; ++j)
+        e.write_set.push_back(r.get_u64());
+      entries.push_back(std::move(e));
+    }
+  };
+  get_entries(evicted_);
+  get_entries(history_);
+  // Rebuild the index by replay: evicted entries first (older positions),
+  // then the retained window — identical contents to the donor's, stale
+  // backlog entries included.
+  for (const entry& e : evicted_) index_.note_commit(e.write_set, e.pos);
+  for (const entry& e : history_) index_.note_commit(e.write_set, e.pos);
+}
+
 }  // namespace dbsm::cert

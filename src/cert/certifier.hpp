@@ -33,6 +33,7 @@
 
 #include "cert/cert_index.hpp"
 #include "cert/rwset.hpp"
+#include "util/byte_buffer.hpp"
 #include "util/types.hpp"
 
 namespace dbsm::cert {
@@ -89,6 +90,16 @@ class certifier {
 
   /// Modeled CPU cost of the most recent certify_* call.
   sim_duration last_cost() const { return last_cost_; }
+
+  /// Serializes the full certification state — position, retained history,
+  /// undrained eviction backlog — for a membership-recovery state transfer.
+  /// restore() on a fresh certifier (same cert_config) reproduces the
+  /// donor's decisions bit-for-bit: the last-writer index is rebuilt by
+  /// replaying the serialized write sets in position order, which yields
+  /// the exact same index contents (including the decision-safe stale
+  /// entries of the eviction backlog).
+  void snapshot(util::buffer_writer& w) const;
+  void restore(util::buffer_reader& r);
 
   std::uint64_t commits() const { return commits_; }
   std::uint64_t aborts() const { return aborts_; }

@@ -58,10 +58,38 @@ class cluster {
   /// Crash fault (§5.3): "a node is stopped at the specified time, thus
   /// completely stopping interaction with other nodes."
   void crash_site(unsigned i);
-  bool crashed(unsigned i) const { return crashed_.at(i); }
+  bool crashed(unsigned i) const {
+    return status_.at(i) == site_status::crashed ||
+           status_.at(i) == site_status::recovering;
+  }
+
+  /// Where a site stands in the crash/recover life cycle (fault campaigns
+  /// report it per site, distinguishing "aborted" from "site was gone").
+  enum class site_status : std::uint8_t {
+    operational,  // never left (or only transiently partitioned)
+    crashed,      // crash-stopped (or excluded and not yet recovering)
+    recovering,   // restart under way: quiesce, state transfer, rejoin
+    rejoined,     // back in the view after a completed state transfer
+  };
+  site_status status(unsigned i) const { return status_.at(i); }
+
+  /// Membership recovery (requires cfg.gcs.enable_recovery): brings a
+  /// crashed or partition-excluded site back. The site's stack is
+  /// quiesced, torn down once its CPU drains, rebuilt from scratch, and
+  /// started in joining mode; the gcs recovery protocol then transfers
+  /// state from the primary partition and merges the site back into the
+  /// view. `on_rejoined` fires when the site is live again (e.g. to
+  /// resume its clients). Safe to call on a live member too — it is
+  /// excluded first, then rejoins (a rolling restart).
+  void recover_site(unsigned i, std::function<void(unsigned)> on_rejoined = {});
+
   std::vector<unsigned> operational_sites() const;
 
  private:
+  void build_site_stack(unsigned i, bool joining,
+                        std::uint64_t first_local_txn, unsigned restart_no);
+  void finish_recover(unsigned i, std::uint64_t epoch);
+
   config cfg_;
   sim::simulator sim_;
   std::unique_ptr<net::medium> net_;
@@ -70,7 +98,12 @@ class cluster {
   std::vector<std::unique_ptr<csrt::sim_env>> envs_;
   std::vector<std::unique_ptr<gcs::group>> groups_;
   std::vector<std::unique_ptr<replica>> replicas_;
-  std::vector<bool> crashed_;
+  std::vector<site_status> status_;
+  /// Bumped by every crash/recover of the site; in-flight recovery steps
+  /// carry the epoch they were scheduled under and fizzle when stale.
+  std::vector<std::uint64_t> recover_epoch_;
+  std::vector<unsigned> restarts_;
+  std::vector<std::function<void(unsigned)>> on_rejoined_;
 };
 
 }  // namespace dbsm::core

@@ -26,6 +26,7 @@ experiment_result run_experiment(const experiment_config& cfg) {
   ccfg.replica_cfg = cfg.replica_cfg;
   ccfg.replica_cfg.replication_degree = cfg.replication_degree;
   ccfg.gcs = cfg.gcs;
+  ccfg.gcs.enable_recovery = ccfg.gcs.enable_recovery || cfg.enable_recovery;
   ccfg.costs = cfg.costs;
   ccfg.lan = cfg.lan;
   ccfg.use_wan = cfg.use_wan;
@@ -49,6 +50,11 @@ experiment_result run_experiment(const experiment_config& cfg) {
     result.class_is_update.push_back(wl->is_update_class(cls));
   }
   std::uint64_t responses = 0;
+  struct site_counters {
+    std::uint64_t commits = 0;
+    std::uint64_t responses = 0;
+  };
+  std::vector<site_counters> by_site(total_sites);
 
   std::vector<std::unique_ptr<client>> clients;
   std::vector<std::vector<client*>> site_clients(total_sites);
@@ -58,15 +64,18 @@ experiment_result run_experiment(const experiment_config& cfg) {
   const unsigned first_client_site = cfg.dedicated_sequencer ? 1 : 0;
   for (unsigned i = 0; i < cfg.clients; ++i) {
     const unsigned site = first_client_site + i % cfg.sites;
-    replica& rep = c.site(site);
-    auto submit = [&rep](db::txn_request req,
-                         std::function<void(db::txn_outcome)> done) {
-      rep.submit(std::move(req), std::move(done));
+    // Route through the cluster at submit time: a site's replica object is
+    // rebuilt when it restarts, so no reference may be captured here.
+    auto submit = [&c, site](db::txn_request req,
+                             std::function<void(db::txn_outcome)> done) {
+      c.site(site).submit(std::move(req), std::move(done));
     };
-    auto report = [&result, &responses, &c,
+    auto report = [&result, &responses, &by_site, site, &c,
                    &cfg](const client::result& r) {
       result.stats.record(r.cls, r.outcome, r.submitted, r.finished);
       ++responses;
+      ++by_site[site].responses;
+      if (r.outcome == db::txn_outcome::committed) ++by_site[site].commits;
       if (cfg.target_responses != 0 && responses >= cfg.target_responses)
         c.sim().stop();
     };
@@ -92,6 +101,17 @@ experiment_result run_experiment(const experiment_config& cfg) {
     c.crash_site(site);
     for (client* cl : site_clients[site]) cl->stop();
   };
+  if (ccfg.gcs.enable_recovery) {
+    // The recover hook restarts the site's stack; its clients stay
+    // stopped until the rejoin completes, then resume issuing (their
+    // commits land in the same stats as everyone else's).
+    pts.recover = [&c, &site_clients](unsigned site) {
+      for (client* cl : site_clients[site]) cl->stop();
+      c.recover_site(site, [&site_clients](unsigned s) {
+        for (client* cl : site_clients[s]) cl->resume();
+      });
+    };
+  }
   cfg.faults.install(c.sim(), std::move(pts));
 
   c.start();
@@ -123,6 +143,14 @@ experiment_result run_experiment(const experiment_config& cfg) {
     result.blocked_ms += to_millis(rs.blocked_time);
     result.view_changes = std::max(result.view_changes,
                                    c.group(i).view_changes());
+  }
+  for (unsigned i = 0; i < total_sites; ++i) {
+    site_report sr;
+    sr.state = c.status(i);
+    sr.committed_log = c.site(i).commit_log().size();
+    sr.client_commits = by_site[i].commits;
+    sr.client_responses = by_site[i].responses;
+    result.sites.push_back(sr);
   }
   const double n = static_cast<double>(operational.size());
   result.cpu_utilization /= n;

@@ -48,10 +48,18 @@ struct experiment_config {
   bool measure_real_time = false;
 
   /// The fault schedule, installed against the cluster's injection points
-  /// (network medium, per-site env bridges, crash hook). Build one by
-  /// composing fault_types, pick a named one from fault::scenarios::, or
-  /// adapt a flat paper plan with fault::from_plan.
+  /// (network medium, per-site env bridges, crash and recover hooks).
+  /// Build one by composing fault_types, pick a named one from
+  /// fault::scenarios::, or adapt a flat paper plan with fault::from_plan.
   fault::scenario faults;
+
+  /// Membership recovery (off by default — the paper's campaigns are
+  /// crash-stop and stay bit-identical). When on, `fault::recover_fault`
+  /// events bring crashed or partition-excluded sites back through the
+  /// gcs rejoin protocol (state transfer + view merge), and the site's
+  /// clients resume once it is live; post-rejoin commits count in the
+  /// stats like any other.
+  bool enable_recovery = false;
 
   /// §5.3 mitigation: run the fixed sequencer on a dedicated extra site
   /// that serves no clients (the protocol still elects the lowest id, so
@@ -60,6 +68,18 @@ struct experiment_config {
 
   /// §6 / [24]: apply each update at only this many sites (0 = all).
   unsigned replication_degree = 0;
+};
+
+/// Per-site accounting (fault campaigns need to tell "clients aborted"
+/// from "the site was gone" — the aggregate stats hide it).
+struct site_report {
+  cluster::site_status state = cluster::site_status::operational;
+  /// Certified commits in this site's log (transferred prefix included
+  /// for a rejoined site).
+  std::uint64_t committed_log = 0;
+  /// Terminal outcomes reported by this site's clients.
+  std::uint64_t client_commits = 0;
+  std::uint64_t client_responses = 0;
 };
 
 struct experiment_result {
@@ -84,9 +104,20 @@ struct experiment_result {
   // Certification latency at origin sites (Fig 7b).
   util::sample_set cert_latency_ms;
 
-  // Safety (§5.3): committed sequences of operational sites.
+  // Safety (§5.3): committed sequences of operational sites (a rejoined
+  // site contributes its full pre-cut + post-rejoin sequence).
   std::vector<std::vector<std::uint64_t>> commit_logs;
   safety_report safety;
+
+  // Per-site life cycle + counts, indexed by site (all sites, crashed
+  // included).
+  std::vector<site_report> sites;
+  std::uint64_t rejoined_sites() const {
+    std::uint64_t n = 0;
+    for (const site_report& s : sites)
+      if (s.state == cluster::site_status::rejoined) ++n;
+    return n;
+  }
 
   // GCS probes (§5.3 analysis).
   std::uint64_t naks_sent = 0;

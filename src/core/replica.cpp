@@ -13,14 +13,36 @@ namespace {
 std::uint64_t make_txn_id(node_id site, std::uint64_t counter) {
   return (static_cast<std::uint64_t>(site) << 40) | counter;
 }
+
+std::uint64_t txn_counter(std::uint64_t id) {
+  return id & ((std::uint64_t{1} << 40) - 1);
+}
 }  // namespace
 
 replica::replica(sim::simulator& sim, csrt::cpu_pool& cpu,
                  csrt::sim_env& env, gcs::group& group, config cfg,
-                 util::rng gen)
+                 util::rng gen, std::uint64_t first_local_txn)
     : sim_(sim), cpu_(cpu), env_(env), group_(group), cfg_(cfg),
       server_(sim, cpu, cfg.server, gen.fork("server")),
-      cert_(cfg.cert), rng_(gen.fork("replica")) {}
+      cert_(cfg.cert), rng_(gen.fork("replica")),
+      next_local_txn_(first_local_txn), incarnation_floor_(first_local_txn) {}
+
+util::shared_bytes replica::snapshot() const {
+  util::buffer_writer w;
+  cert_.snapshot(w);
+  w.put_u64(commit_log_.size());
+  for (const std::uint64_t id : commit_log_) w.put_u64(id);
+  return w.take();
+}
+
+void replica::install_snapshot(util::shared_bytes blob) {
+  util::buffer_reader r(std::move(blob));
+  cert_.restore(r);
+  commit_log_.clear();
+  const std::uint64_t n = r.get_u64();
+  commit_log_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) commit_log_.push_back(r.get_u64());
+}
 
 void replica::start() {
   group_.set_deliver([this](node_id sender, std::uint64_t seq,
@@ -57,6 +79,7 @@ void replica::submit(db::txn_request req,
 }
 
 void replica::on_executed(const db::txn_request& req) {
+  if (halted_) return;  // crashed mid-execution: no termination protocol
   auto it = pending_.find(req.id);
   DBSM_CHECK(it != pending_.end());
   const std::uint64_t begin_pos = it->second.begin_pos;
@@ -110,7 +133,11 @@ void replica::on_deliver(node_id, std::uint64_t,
 
   env_.call_out([this, txn = std::move(txn), commit] {
     if (halted_) return;
-    if (txn.origin == env_.self()) {
+    // Transactions of a previous incarnation of this site (issued before a
+    // crash/restart, delivered or replayed after) have no pending entry to
+    // finish: they apply like remote work below.
+    if (txn.origin == env_.self() &&
+        txn_counter(txn.id) > incarnation_floor_) {
       auto it = pending_.find(txn.id);
       if (it != pending_.end() && it->second.multicast_at != 0) {
         cert_latency_.add(to_millis(sim_.now() - it->second.multicast_at));

@@ -42,14 +42,31 @@ class replica {
     unsigned total_sites = 1;
   };
 
+  /// `first_local_txn` seeds the local transaction counter: a replica
+  /// rebuilt after a crash continues its predecessor's id space, so
+  /// pre-crash transactions still in flight can never alias new ones.
   replica(sim::simulator& sim, csrt::cpu_pool& cpu, csrt::sim_env& env,
-          gcs::group& group, config cfg, util::rng gen);
+          gcs::group& group, config cfg, util::rng gen,
+          std::uint64_t first_local_txn = 0);
 
   replica(const replica&) = delete;
   replica& operator=(const replica&) = delete;
 
   /// Wires the group delivery callback; call once before the run.
   void start();
+
+  /// Marshals the replica state for a membership-recovery transfer: the
+  /// certification state (position, history, index — via cert::certifier)
+  /// and the committed sequence. Called by the donor between deliveries.
+  util::shared_bytes snapshot() const;
+
+  /// Installs a transferred snapshot on a freshly rebuilt replica; the
+  /// joiner then replays forwarded deliveries through on_deliver and
+  /// converges on the donor's exact committed sequence.
+  void install_snapshot(util::shared_bytes blob);
+
+  /// Local transaction counter (passed to the successor on restart).
+  std::uint64_t next_local_txn() const { return next_local_txn_; }
 
   /// Client entry point. `done` fires exactly once with the outcome
   /// (never, if this replica crashed — its clients block, §5.3).
@@ -96,6 +113,10 @@ class replica {
   util::rng rng_;
 
   std::uint64_t next_local_txn_ = 0;
+  /// Counters at or below this belong to a previous incarnation of this
+  /// site: their late deliveries apply like remote transactions instead
+  /// of asserting against the (rebuilt, empty) pending table.
+  std::uint64_t incarnation_floor_ = 0;
   std::unordered_map<std::uint64_t, pending_txn> pending_;
   std::vector<std::uint64_t> commit_log_;
   util::sample_set cert_latency_;

@@ -54,6 +54,16 @@ class cpu_pool {
   unsigned size() const { return static_cast<unsigned>(cpus_.size()); }
   std::size_t queued() const { return real_pending_.size() + sim_pending_.size(); }
 
+  /// True when nothing is running or queued — the gate a restarting site
+  /// waits on before destroying the objects whose callbacks those jobs
+  /// would have invoked.
+  bool idle() const {
+    if (!real_pending_.empty() || !sim_pending_.empty()) return false;
+    for (const cpu_state& c : cpus_)
+      if (c.busy) return false;
+    return true;
+  }
+
   /// Fraction of total CPU capacity used so far (all job classes).
   double utilization() const { return total_busy_.utilization(sim_.now()); }
   /// Fraction of total CPU capacity used by real (protocol) jobs.

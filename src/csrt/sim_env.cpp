@@ -100,6 +100,11 @@ timer_id sim_env::set_timer(sim_duration d, std::function<void()> fn) {
   return id;
 }
 
+void sim_env::cancel_all_timers() {
+  for (const auto& [id, ev] : timers_) sim_.cancel(ev);
+  timers_.clear();
+}
+
 bool sim_env::cancel_timer(timer_id id) {
   clock_stop guard(profiler_, cfg_.measure_real_time && in_job_);
   auto it = timers_.find(id);

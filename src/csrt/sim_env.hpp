@@ -78,6 +78,11 @@ class sim_env final : public env {
   /// True while a real-code job of this env is executing.
   bool in_job() const { return in_job_; }
 
+  /// Cancels every timer currently armed through this env (site teardown:
+  /// a restarting site's protocol stack is destroyed mid-run, and no
+  /// pending timer callback may outlive it).
+  void cancel_all_timers();
+
   // --- fault injection knobs (§5.3) ---
 
   /// Clock drift: timers armed while the drift is active are postponed by

@@ -77,6 +77,10 @@ struct injection_points {
   std::vector<csrt::sim_env*> envs;
   /// Crashes a site (network isolation + replica halt + client stop).
   std::function<void(unsigned site)> crash;
+  /// Brings a crashed or partition-excluded site back (restart + state
+  /// transfer + view merge). Wired only when the experiment enables
+  /// membership recovery; recover_fault checks.
+  std::function<void(unsigned site)> recover;
 
   unsigned sites() const { return static_cast<unsigned>(envs.size()); }
 };

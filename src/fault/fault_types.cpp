@@ -118,7 +118,7 @@ void sched_latency_fault::disarm(injection_points& pts) {
     pts.envs.at(site)->set_timer_jitter(0);
 }
 
-// ---------------------------------------------------------------- crash
+// --------------------------------------------------------- crash/recover
 
 std::string crash_fault::name() const { return "crash"; }
 
@@ -127,36 +127,61 @@ void crash_fault::arm(injection_points& pts) {
   for (unsigned site : targets_.resolve(pts.sites())) pts.crash(site);
 }
 
+std::string recover_fault::name() const { return "recover"; }
+
+void recover_fault::arm(injection_points& pts) {
+  DBSM_CHECK_MSG(pts.recover,
+                 "no recover hook in the injection points (enable "
+                 "membership recovery in the experiment config)");
+  for (unsigned site : targets_.resolve(pts.sites())) pts.recover(site);
+}
+
 // ------------------------------------------------------- partition/delay
 
 std::pair<site_set, site_set> partition_fault::sides(unsigned sites) const {
   return resolve_sides(side_a_, side_b_, sites);
 }
 
+fault_ptr partition_fault::one_way(site_set from, site_set to) {
+  auto f = std::make_shared<partition_fault>(std::move(from), std::move(to));
+  f->one_way_ = true;
+  return f;
+}
+
 std::string partition_fault::name() const {
-  return fmt_sites_label("partition", side_a_);
+  return fmt_sites_label(one_way_ ? "partition_oneway" : "partition",
+                         side_a_);
 }
 
-void partition_fault::arm(injection_points& pts) {
+void partition_fault::apply(injection_points& pts, bool cut) {
   DBSM_CHECK(pts.net != nullptr);
   const auto [a, b] = sides(pts.sites());
   for_each_cross_link(a, b, [&](unsigned x, unsigned y) {
-    pts.net->set_link_cut(x, y, true);
+    if (one_way_) {
+      pts.net->set_link_cut_oneway(x, y, cut);
+    } else {
+      pts.net->set_link_cut(x, y, cut);
+    }
   });
 }
 
-void partition_fault::disarm(injection_points& pts) {
-  DBSM_CHECK(pts.net != nullptr);
-  const auto [a, b] = sides(pts.sites());
-  for_each_cross_link(a, b, [&](unsigned x, unsigned y) {
-    pts.net->set_link_cut(x, y, false);
-  });
+void partition_fault::arm(injection_points& pts) { apply(pts, true); }
+
+void partition_fault::disarm(injection_points& pts) { apply(pts, false); }
+
+fault_ptr link_delay_fault::one_way(sim_duration extra, site_set from,
+                                    site_set to) {
+  auto f = std::make_shared<link_delay_fault>(extra, std::move(from),
+                                              std::move(to));
+  f->one_way_ = true;
+  return f;
 }
 
 std::string link_delay_fault::name() const {
   std::ostringstream os;
-  os << fmt_sites_label("link_delay", side_a_) << "+" << to_millis(extra_)
-     << "ms";
+  os << fmt_sites_label(one_way_ ? "link_delay_oneway" : "link_delay",
+                        side_a_)
+     << "+" << to_millis(extra_) << "ms";
   return os.str();
 }
 
@@ -164,7 +189,11 @@ void link_delay_fault::apply(injection_points& pts, sim_duration extra) {
   DBSM_CHECK(pts.net != nullptr);
   const auto [a, b] = resolve_sides(side_a_, side_b_, pts.sites());
   for_each_cross_link(a, b, [&](unsigned x, unsigned y) {
-    pts.net->set_link_extra_delay(x, y, extra);
+    if (one_way_) {
+      pts.net->set_link_extra_delay_oneway(x, y, extra);
+    } else {
+      pts.net->set_link_extra_delay(x, y, extra);
+    }
   });
 }
 

@@ -87,8 +87,9 @@ class sched_latency_fault final : public fault {
   site_selector targets_;
 };
 
-/// Crash-stop of the target sites at window start. One-shot: recovery is
-/// out of scope (as in the paper's experiments), so disarm is a no-op.
+/// Crash-stop of the target sites at window start. One-shot: disarm is a
+/// no-op — the complementary recover_fault (requires an experiment with
+/// membership recovery enabled) brings a site back.
 class crash_fault final : public fault {
  public:
   explicit crash_fault(site_selector targets) : targets_(std::move(targets)) {}
@@ -100,32 +101,58 @@ class crash_fault final : public fault {
   site_selector targets_;
 };
 
+/// Recovery of the target sites at window start (one-shot): each site
+/// restarts, obtains a state transfer from the primary partition, and is
+/// merged back into the view. Requires injection_points.recover (i.e. an
+/// experiment with enable_recovery set).
+class recover_fault final : public fault {
+ public:
+  explicit recover_fault(site_selector targets)
+      : targets_(std::move(targets)) {}
+
+  std::string name() const override;
+  void arm(injection_points& pts) override;
+
+ private:
+  site_selector targets_;
+};
+
 /// Network partition: cuts every link between side A and side B for the
 /// fault window, then heals. An empty side B means "every site not in A".
 /// In-flight datagrams crossing a cut link at reception time are dropped.
+/// The one_way variant cuts only the A→B direction (B's traffic still
+/// reaches A), exercising asymmetric failure-detector suspicion.
 class partition_fault final : public fault {
  public:
   explicit partition_fault(site_set side_a, site_set side_b = {})
       : side_a_(std::move(side_a)), side_b_(std::move(side_b)) {}
+
+  static fault_ptr one_way(site_set from, site_set to = {});
 
   std::string name() const override;
   void arm(injection_points& pts) override;
   void disarm(injection_points& pts) override;
 
  private:
+  void apply(injection_points& pts, bool cut);
   /// The resolved (A, B) pair for this system size.
   std::pair<site_set, site_set> sides(unsigned sites) const;
 
   site_set side_a_;
   site_set side_b_;
+  bool one_way_ = false;
 };
 
 /// Degraded path: extra one-way delay on every link between side A and
-/// side B (empty side B = everyone else) for the fault window.
+/// side B (empty side B = everyone else) for the fault window. The
+/// one_way variant delays only datagrams travelling A→B.
 class link_delay_fault final : public fault {
  public:
   link_delay_fault(sim_duration extra, site_set side_a, site_set side_b = {})
       : extra_(extra), side_a_(std::move(side_a)), side_b_(std::move(side_b)) {}
+
+  static fault_ptr one_way(sim_duration extra, site_set from,
+                           site_set to = {});
 
   std::string name() const override;
   void arm(injection_points& pts) override;
@@ -137,6 +164,7 @@ class link_delay_fault final : public fault {
   sim_duration extra_;
   site_set side_a_;
   site_set side_b_;
+  bool one_way_ = false;
 };
 
 }  // namespace dbsm::fault

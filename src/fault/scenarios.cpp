@@ -79,23 +79,67 @@ scenario cascading_crashes(const params& p) {
   return s;
 }
 
+scenario partition_cut_heal_rejoin(const params& p) {
+  DBSM_CHECK(p.sites >= 3);
+  const unsigned victim = p.sites - 1;
+  scenario s("partition_cut_heal_rejoin");
+  const sim_time heal = p.onset + 4 * p.exclusion_timeout;
+  s.add(std::make_shared<partition_fault>(site_set{victim}), p.onset, heal);
+  // Recover once the heal has settled: restart, state transfer, rejoin.
+  s.add(std::make_shared<recover_fault>(site_selector{site_set{victim}}),
+        heal + seconds(1));
+  return s;
+}
+
+scenario crash_restart(const params& p) {
+  DBSM_CHECK(p.sites >= 3);
+  const unsigned victim = p.sites - 1;
+  scenario s("crash_restart");
+  s.add(std::make_shared<crash_fault>(site_selector{site_set{victim}}),
+        p.onset);
+  s.add(std::make_shared<recover_fault>(site_selector{site_set{victim}}),
+        p.onset + seconds(10));
+  return s;
+}
+
+scenario rolling_restarts(const params& p) {
+  DBSM_CHECK_MSG(p.sites >= 3, "rolling restarts need a surviving majority");
+  scenario s("rolling_restarts");
+  for (unsigned k = 0; k < p.sites; ++k) {
+    const sim_time down = p.onset + k * seconds(20);
+    s.add(std::make_shared<crash_fault>(site_selector{site_set{k}}), down);
+    s.add(std::make_shared<recover_fault>(site_selector{site_set{k}}),
+          down + seconds(8));
+  }
+  return s;
+}
+
 const std::vector<catalog_entry>& catalog() {
   static const std::vector<catalog_entry> entries = {
-      {"no_faults", "fault-free baseline", 1, true, &no_faults},
-      {"clock_drift", "10% drift on odd sites", 2, true, &clock_drift},
+      {"no_faults", "fault-free baseline", 1, true, &no_faults, false},
+      {"clock_drift", "10% drift on odd sites", 2, true, &clock_drift,
+       false},
       {"sched_latency", "<=5ms timer delay, all sites", 1, true,
-       &sched_latency},
-      {"random_loss", "5% per-message loss", 2, true, &random_loss},
-      {"bursty_loss", "5% loss in bursts (len 5)", 2, true, &bursty_loss},
-      {"crash", "last site crashes at onset", 3, true, &crash},
+       &sched_latency, false},
+      {"random_loss", "5% per-message loss", 2, true, &random_loss, false},
+      {"bursty_loss", "5% loss in bursts (len 5)", 2, true, &bursty_loss,
+       false},
+      {"crash", "last site crashes at onset", 3, true, &crash, false},
       {"partition_minority", "cut last site, heal after exclusion", 3, true,
-       &partition_minority},
+       &partition_minority, false},
       {"flaky_switch", "repeating 1s bursts of 25% loss", 2, false,
-       &flaky_switch},
+       &flaky_switch, false},
       {"slow_replica", "sustained 20ms sched latency on one site", 2, true,
-       &slow_replica},
+       &slow_replica, false},
       {"cascading_crashes", "two crashes 15s apart", 5, false,
-       &cascading_crashes},
+       &cascading_crashes, false},
+      {"partition_cut_heal_rejoin",
+       "cut last site, heal, rejoin via state transfer", 3, false,
+       &partition_cut_heal_rejoin, true},
+      {"crash_restart", "crash last site, restart + rejoin 10s later", 3,
+       false, &crash_restart, true},
+      {"rolling_restarts", "restart every site in turn (rolling upgrade)",
+       3, false, &rolling_restarts, true},
   };
   return entries;
 }

@@ -51,6 +51,20 @@ scenario slow_replica(const params& p = {});
 /// sites; needs >= 5 sites so a majority survives both.
 scenario cascading_crashes(const params& p = {});
 
+// --- recovery scenarios (full cut/heal/rejoin cycles; these require the
+// --- experiment to enable membership recovery) ---
+/// The partition_minority shape completed: cut the highest site, heal
+/// after it is excluded, then recover it — state transfer, replay, view
+/// merge — so it commits new transactions alongside everyone else.
+scenario partition_cut_heal_rejoin(const params& p = {});
+/// Crash-stop the highest site at onset, restart it 10s later: the
+/// classic kill-and-restart cycle over the crash path instead of a
+/// partition.
+scenario crash_restart(const params& p = {});
+/// Restart every site in turn (crash, recover 8s later, next site 20s
+/// after), sequencer included — a rolling upgrade with no full outage.
+scenario rolling_restarts(const params& p = {});
+
 struct catalog_entry {
   const char* name;
   const char* description;
@@ -59,6 +73,9 @@ struct catalog_entry {
   /// True for the scenarios the default fault_injection campaign runs.
   bool in_default_campaign;
   scenario (*make)(const params&);
+  /// True when the scenario injects recover faults: the experiment must
+  /// run with membership recovery enabled.
+  bool needs_recovery = false;
 };
 
 /// Every named scenario, in campaign order.

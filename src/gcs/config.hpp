@@ -52,6 +52,26 @@ struct group_config {
   /// Deterministic CPU cost charged per handled datagram when real
   /// measurement is off (base protocol processing).
   sim_duration handler_cpu_cost = microseconds(3);
+
+  // --- membership recovery (rejoin with state transfer; gcs/recovery.hpp) ---
+  /// Master switch. Off (the default), no join protocol exists: no extra
+  /// wire bytes, timers, or state — runs are bit-identical to the
+  /// crash-stop protocol the paper evaluates.
+  bool enable_recovery = false;
+  /// State-transfer chunk payload (must fit the transport datagram limit).
+  std::size_t join_chunk_bytes = 32 * 1024;
+  /// Retransmission cadence of the join protocol (chunks, forwarded
+  /// deliveries, commit message).
+  sim_duration join_retry = milliseconds(40);
+  /// A join attempt with no progress for this long is abandoned (donor
+  /// side) or restarted with a fresh incarnation (joiner side) — a second
+  /// failure during transfer must not wedge either end.
+  sim_duration join_timeout = seconds(2);
+  /// Forwarded-delivery window (go-back-N) during catch-up.
+  std::size_t join_fwd_window = 32;
+  /// The donor asks membership to merge the joiner in once the joiner's
+  /// replay lags the live delivery position by at most this much.
+  std::uint64_t join_merge_lag = 16;
 };
 
 }  // namespace dbsm::gcs

@@ -18,9 +18,6 @@ group::group(csrt::env& env, group_config cfg)
   initial.id = 1;
   initial.members = cfg_.members;
 
-  rmcast_ = std::make_unique<reliable_mcast>(env_, cfg_, cfg_.members);
-  order_ = std::make_unique<total_order>(env_, cfg_);
-  stability_ = std::make_unique<stability_tracker>(cfg_.members, env_.self());
   fd_ = std::make_unique<failure_detector>(cfg_.members, env_.self(),
                                            cfg_.suspect_timeout, env_.now());
 
@@ -43,26 +40,91 @@ group::group(csrt::env& env, group_config cfg)
   membership_ =
       std::make_unique<membership>(env_, cfg_, initial, std::move(h));
 
-  rmcast_->set_view_id(initial.id);
+  build_stack(initial, 0);
+  if (cfg_.enable_recovery) wire_recovery();
+}
+
+group::~group() {
+  stopped_ = true;
+  if (stab_timer_ != 0) env_.cancel_timer(stab_timer_);
+  if (hb_timer_ != 0) env_.cancel_timer(hb_timer_);
+}
+
+void group::shutdown() {
+  stopped_ = true;
+  if (stab_timer_ != 0) {
+    env_.cancel_timer(stab_timer_);
+    stab_timer_ = 0;
+  }
+  if (hb_timer_ != 0) {
+    env_.cancel_timer(hb_timer_);
+    hb_timer_ = 0;
+  }
+}
+
+void group::build_stack(const view& v, std::uint64_t delivered) {
+  rmcast_ = std::make_unique<reliable_mcast>(env_, cfg_, v.members);
+  rmcast_->set_view_id(v.id);
+  // Streams restart from zero at every merge, so traffic of earlier
+  // epochs must be rejected (the initial build keeps the permissive
+  // historical behavior — nothing older than view 1 exists).
+  if (v.id > 1) rmcast_->set_min_accept_view(v.id);
   rmcast_->set_app_handler([this](node_id sender, std::uint64_t app_seq,
                                   util::shared_bytes payload,
                                   std::uint64_t last_dgram) {
     on_app_msg(sender, app_seq, std::move(payload), last_dgram);
   });
+
+  order_ = std::make_unique<total_order>(env_, cfg_);
+  if (delivered > 0) order_->start_at(delivered + 1);
   order_->set_deliver([this](node_id sender, std::uint64_t seq,
                              util::shared_bytes payload) {
-    // Strip the kind byte; hand the user payload up.
+    // Strip the kind byte; hand the user payload up (and, when donating a
+    // state transfer, forward it to the rejoining site).
     auto user = std::make_shared<util::bytes>(payload->begin() + 1,
                                               payload->end());
+    if (recovery_) recovery_->on_local_deliver(sender, seq, user);
     if (deliver_) deliver_(sender, seq, std::move(user));
   });
   order_->set_send_assignments([this](util::shared_bytes batch) {
     rmcast_->broadcast(wrap(kind_assignments, batch));
   });
-  order_->set_sequencer(initial.sequencer());
+  order_->set_sequencer(v.sequencer());
+
+  stability_ = std::make_unique<stability_tracker>(v.members, env_.self());
 }
 
-group::~group() { stopped_ = true; }
+void group::wire_recovery() {
+  recovery::hooks rh;
+  rh.take_snapshot = [this] {
+    DBSM_CHECK_MSG(xfer_.take_snapshot, "state transfer hooks not wired");
+    return xfer_.take_snapshot();
+  };
+  rh.install_snapshot = [this](util::shared_bytes blob) {
+    DBSM_CHECK_MSG(xfer_.install_snapshot, "state transfer hooks not wired");
+    xfer_.install_snapshot(std::move(blob));
+  };
+  rh.replay = [this](node_id sender, std::uint64_t seq,
+                     util::shared_bytes payload) {
+    if (deliver_) deliver_(sender, seq, std::move(payload));
+  };
+  rh.delivered = [this] { return order_->delivered(); };
+  rh.is_coordinator = [this] {
+    if (membership_->excluded()) return false;  // stalled: may not donate
+    const view& v = membership_->current();
+    return !v.members.empty() && v.members.front() == env_.self();
+  };
+  rh.membership_changing = [this] { return membership_->changing(); };
+  rh.admit = [this](node_id joiner) { membership_->admit(joiner); };
+  rh.install_merged = [this](const view& v, std::uint64_t delivered) {
+    install_merged(v, delivered);
+  };
+  rh.send = [this](node_id to, util::shared_bytes raw) {
+    send_ctl(to, std::move(raw));
+  };
+  rh.mcast = [this](util::shared_bytes raw) { env_.multicast(std::move(raw)); };
+  recovery_ = std::make_unique<recovery>(env_, cfg_, std::move(rh));
+}
 
 util::shared_bytes group::wrap(std::uint8_t kind,
                                const util::shared_bytes& payload) {
@@ -82,6 +144,33 @@ void group::start() {
     stability_tick();
     heartbeat_tick();
   });
+}
+
+void group::start_joining() {
+  DBSM_CHECK(!started_);
+  DBSM_CHECK_MSG(cfg_.enable_recovery && recovery_,
+                 "start_joining() requires enable_recovery");
+  started_ = true;
+  joining_ = true;
+  env_.set_handler([this](node_id from, util::shared_bytes raw) {
+    dispatch(from, std::move(raw));
+  });
+  env_.post([this] {
+    if (!stopped_) recovery_->begin_join();
+  });
+}
+
+void group::install_merged(const view& v, std::uint64_t delivered) {
+  DBSM_CHECK(joining_);
+  joining_ = false;
+  membership_->force_view(v);
+  build_stack(v, delivered);
+  fd_->reset(v.members, env_.now());
+  // Live from here on: gossip and heartbeats run like any member's.
+  stability_tick();
+  heartbeat_tick();
+  if (view_cb_) view_cb_(v);
+  if (joined_cb_) joined_cb_(v);
 }
 
 void group::submit(util::shared_bytes payload) {
@@ -119,6 +208,24 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
   if (stopped_ || raw->size() < 9) return;
   env_.charge(cfg_.handler_cpu_cost);
   const header hdr = decode_header(raw);
+  if (joining_) {
+    // A recovering site runs nothing but the join protocol: the rest of
+    // the stack is rebuilt when the merged view installs.
+    switch (hdr.type) {
+      case msg_type::join_chunk:
+        recovery_->on_chunk(decode_join_chunk(raw));
+        break;
+      case msg_type::join_fwd:
+        recovery_->on_fwd(decode_join_fwd(raw));
+        break;
+      case msg_type::join_commit:
+        recovery_->on_commit(decode_join_commit(raw));
+        break;
+      default:
+        break;
+    }
+    return;
+  }
   fd_->heard_from(hdr.sender, env_.now());
   switch (hdr.type) {
     case msg_type::data: {
@@ -140,7 +247,16 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
       break;
     }
     case msg_type::heartbeat:
-      break;  // liveness already recorded
+      // Liveness already recorded; in recovery mode the heartbeat also
+      // advertises the sender's stream high water, exposing datagram gaps
+      // that no later traffic would reveal (a rejoined member's blind
+      // spot between the members' install and its own).
+      if (cfg_.enable_recovery) {
+        const heartbeat_msg hb = decode_heartbeat(raw);
+        if (hb.sent_high && hb.hdr.view_id == membership_->current().id)
+          rmcast_->note_sender_high(hb.hdr.sender, *hb.sent_high);
+      }
+      break;
     case msg_type::view_propose:
       membership_->on_propose(decode_view_propose(raw));
       break;
@@ -156,6 +272,22 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
     case msg_type::view_install:
       membership_->on_install(decode_view_install(raw));
       break;
+    case msg_type::join_request:
+      if (recovery_) recovery_->on_join_request(decode_join_request(raw));
+      break;
+    case msg_type::join_chunk_ack:
+      if (recovery_) recovery_->on_chunk_ack(decode_join_chunk_ack(raw));
+      break;
+    case msg_type::join_fwd_ack:
+      if (recovery_) recovery_->on_fwd_ack(decode_join_fwd_ack(raw));
+      break;
+    case msg_type::join_done:
+      if (recovery_) recovery_->on_done(decode_join_done(raw));
+      break;
+    case msg_type::join_chunk:
+    case msg_type::join_fwd:
+    case msg_type::join_commit:
+      break;  // stale join traffic to a live member
   }
   (void)from;
 }
@@ -166,17 +298,20 @@ void group::stability_tick() {
   const stab_msg gossip =
       stability_->make_gossip(membership_->current().id);
   env_.multicast(encode(gossip));
-  env_.set_timer(cfg_.stability_period, [this] { stability_tick(); });
+  stab_timer_ =
+      env_.set_timer(cfg_.stability_period, [this] { stability_tick(); });
 }
 
 void group::heartbeat_tick() {
   if (stopped_) return;
   heartbeat_msg hb;
   hb.hdr = {msg_type::heartbeat, membership_->current().id, env_.self()};
+  if (cfg_.enable_recovery) hb.sent_high = rmcast_->sent_high();
   env_.multicast(encode(hb));
   // Failure detection shares the heartbeat cadence.
   for (node_id s : fd_->suspects(env_.now())) membership_->suspect(s);
-  env_.set_timer(cfg_.heartbeat_period, [this] { heartbeat_tick(); });
+  hb_timer_ =
+      env_.set_timer(cfg_.heartbeat_period, [this] { heartbeat_tick(); });
 }
 
 void group::send_ctl(node_id to, util::shared_bytes raw) {
@@ -195,6 +330,36 @@ void group::mcast_ctl(util::shared_bytes raw) {
 void group::do_install(const view& v,
                        const std::vector<node_id>& old_members,
                        const std::vector<std::uint64_t>& cut) {
+  bool merge = false;
+  for (node_id n : v.members)
+    if (std::find(old_members.begin(), old_members.end(), n) ==
+        old_members.end())
+      merge = true;
+
+  if (merge) {
+    // View merge (a site rejoined): deliver the flushed backlog exactly as
+    // every member does, then restart every stream from zero — the joiner
+    // cannot hold the old epoch's datagram history, so the whole group
+    // begins a fresh one at the agreed position. Messages this node
+    // accepted but never flushed to the others are re-broadcast through
+    // the fresh streams; the rebuild itself is deferred one job because
+    // the install can be reached from inside an rmcast frame.
+    order_->install_view(old_members, cut, v.members);
+    const std::uint64_t delivered = order_->delivered();
+    const auto self_it =
+        std::find(old_members.begin(), old_members.end(), env_.self());
+    std::uint64_t cut_self = 0;
+    if (self_it != old_members.end())
+      cut_self = cut[static_cast<std::size_t>(self_it - old_members.begin())];
+    std::vector<util::shared_bytes> resend =
+        rmcast_->unflushed_app_msgs(cut_self);
+    env_.post([this, v, delivered, resend = std::move(resend)]() mutable {
+      if (stopped_) return;
+      rebuild_for_merge(v, delivered, std::move(resend));
+    });
+    return;
+  }
+
   // Truncate reliable-multicast state of failed senders.
   rmcast_->install_view(v.members);
   rmcast_->set_view_id(v.id);
@@ -220,6 +385,21 @@ void group::do_install(const view& v,
   if (view_cb_) view_cb_(v);
 }
 
+void group::rebuild_for_merge(const view& v, std::uint64_t delivered,
+                              std::vector<util::shared_bytes> resend) {
+  build_stack(v, delivered);
+  fd_->reset(v.members, env_.now());
+  if (recovery_) recovery_->on_view_installed(v, delivered);
+  if (view_cb_) view_cb_(v);
+  // The salvaged payloads are already wrapped; re-inject only user
+  // messages — assignment batches of the dead epoch would poison the
+  // fresh sequencer state.
+  for (auto& payload : resend) {
+    if (!payload->empty() && (*payload)[0] == kind_user)
+      rmcast_->broadcast(std::move(payload));
+  }
+}
+
 const view& group::current_view() const { return membership_->current(); }
 
 bool group::am_sequencer() const {
@@ -243,5 +423,9 @@ std::uint64_t group::delivered_count() const { return order_->delivered(); }
 std::size_t group::quota_used() const { return rmcast_->quota_used(); }
 
 bool group::send_blocked() const { return rmcast_->blocked(); }
+
+std::uint64_t group::joins_served() const {
+  return recovery_ ? recovery_->joins_served() : 0;
+}
 
 }  // namespace dbsm::gcs

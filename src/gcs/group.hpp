@@ -15,6 +15,7 @@
 #include "gcs/config.hpp"
 #include "gcs/failure_detector.hpp"
 #include "gcs/membership.hpp"
+#include "gcs/recovery.hpp"
 #include "gcs/rmcast.hpp"
 #include "gcs/sequencer.hpp"
 #include "gcs/stability.hpp"
@@ -30,6 +31,15 @@ class group {
                                         util::shared_bytes payload)>;
   using view_fn = std::function<void(const view&)>;
 
+  /// Application-state marshaling for membership recovery (wired by the
+  /// cluster to the replica): the donor side serializes its state, the
+  /// joiner side installs a transferred one. Replayed deliveries go
+  /// through the normal deliver callback.
+  struct state_transfer_hooks {
+    std::function<util::shared_bytes()> take_snapshot;
+    std::function<void(util::shared_bytes)> install_snapshot;
+  };
+
   group(csrt::env& env, group_config cfg);
   ~group();
 
@@ -38,10 +48,27 @@ class group {
 
   void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
   void set_view_handler(view_fn fn) { view_cb_ = std::move(fn); }
+  /// Requires cfg.enable_recovery; call before start()/start_joining().
+  void set_state_transfer(state_transfer_hooks h) { xfer_ = std::move(h); }
+  /// Fires on the joiner once it is live in the merged view.
+  void set_joined_handler(view_fn fn) { joined_cb_ = std::move(fn); }
 
   /// Boots the protocol stack (registers the datagram handler, arms the
   /// gossip/heartbeat timers, installs the initial view).
   void start();
+
+  /// Boots a *recovering* site instead: only the join protocol runs (no
+  /// heartbeats, no gossip, no sends) until the merged view installs, at
+  /// which point the full stack comes up seamlessly. Requires
+  /// cfg.enable_recovery.
+  void start_joining();
+
+  /// Quiesces the stack for teardown mid-run (site crash/restart): stops
+  /// the tick timers and makes every queued callback a no-op. The object
+  /// can then be destroyed safely once the owning CPU drains.
+  void shutdown();
+
+  bool joining() const { return joining_; }
 
   /// Atomic multicast of an application payload; safe to call from
   /// simulation-side code (enters a real-code job via env.post).
@@ -61,6 +88,8 @@ class group {
   std::uint64_t delivered_count() const;
   std::size_t quota_used() const;
   bool send_blocked() const;
+  /// Completed state transfers this node donated (recovery probe).
+  std::uint64_t joins_served() const;
 
  private:
   static constexpr std::uint8_t kind_user = 0;
@@ -75,6 +104,13 @@ class group {
   void mcast_ctl(util::shared_bytes raw);
   void do_install(const view& v, const std::vector<node_id>& old_members,
                   const std::vector<std::uint64_t>& cut);
+  /// Fresh rmcast/order/stability at `v` with the global sequence
+  /// continuing at `delivered` + 1 (view merges restart every stream).
+  void build_stack(const view& v, std::uint64_t delivered);
+  void rebuild_for_merge(const view& v, std::uint64_t delivered,
+                         std::vector<util::shared_bytes> resend);
+  void install_merged(const view& v, std::uint64_t delivered);
+  void wire_recovery();
   static util::shared_bytes wrap(std::uint8_t kind,
                                  const util::shared_bytes& payload);
 
@@ -82,15 +118,21 @@ class group {
   group_config cfg_;
   deliver_fn deliver_;
   view_fn view_cb_;
+  view_fn joined_cb_;
+  state_transfer_hooks xfer_;
 
   std::unique_ptr<reliable_mcast> rmcast_;
   std::unique_ptr<total_order> order_;
   std::unique_ptr<stability_tracker> stability_;
   std::unique_ptr<failure_detector> fd_;
   std::unique_ptr<membership> membership_;
+  std::unique_ptr<recovery> recovery_;
 
   bool started_ = false;
   bool stopped_ = false;
+  bool joining_ = false;
+  csrt::timer_id stab_timer_ = 0;
+  csrt::timer_id hb_timer_ = 0;
 };
 
 }  // namespace dbsm::gcs

@@ -16,6 +16,10 @@ membership::membership(csrt::env& env, const group_config& cfg, view initial,
                             current_.members.end()));
 }
 
+membership::~membership() {
+  if (retry_timer_ != 0) env_.cancel_timer(retry_timer_);
+}
+
 std::vector<node_id> membership::alive_members() const {
   std::vector<node_id> out;
   for (node_id m : current_.members)
@@ -34,6 +38,35 @@ void membership::suspect(node_id n) {
   DBSM_LOG(info, "gcs.membership",
            "node " << env_.self() << " suspects " << n);
   start_change();
+}
+
+void membership::admit(node_id joiner) {
+  if (changing_) return;  // merge after the pending change settles
+  if (current_.contains(joiner)) return;
+  if (!join_candidates_.insert(joiner).second) return;
+  DBSM_LOG(info, "gcs.membership",
+           "node " << env_.self() << " admits joiner " << joiner);
+  start_change();
+}
+
+void membership::force_view(const view& v) {
+  DBSM_CHECK(!v.members.empty());
+  DBSM_CHECK(std::is_sorted(v.members.begin(), v.members.end()));
+  current_ = v;
+  excluded_ = false;
+  changing_ = false;
+  member_flush_done_ = false;
+  pending_view_ = v.id;
+  suspected_.clear();
+  join_candidates_.clear();
+  states_.clear();
+  flush_oks_.clear();
+  cut_sent_ = false;
+  ++view_changes_;
+  if (retry_timer_ != 0) {
+    env_.cancel_timer(retry_timer_);
+    retry_timer_ = 0;
+  }
 }
 
 void membership::start_change() {
@@ -63,6 +96,11 @@ void membership::propose() {
   }
   pending_view_ = std::max(pending_view_, current_.id) + 1;
   pending_members_ = alive;
+  // View merge: rejoining sites ride the proposal; they take no part in
+  // the flush (their state arrives by transfer, not by cut recovery).
+  for (node_id j : join_candidates_)
+    if (!current_.contains(j)) pending_members_.push_back(j);
+  std::sort(pending_members_.begin(), pending_members_.end());
   coordinator_ = env_.self();
   states_.clear();
   flush_oks_.clear();
@@ -72,7 +110,7 @@ void membership::propose() {
   view_propose_msg m;
   m.hdr = {msg_type::view_propose, current_.id, env_.self()};
   m.new_view_id = pending_view_;
-  m.proposed_members = alive;
+  m.proposed_members = pending_members_;
   DBSM_LOG(info, "gcs.membership",
            "node " << env_.self() << " proposes view " << pending_view_);
   hooks_.mcast(encode(m));
@@ -80,7 +118,12 @@ void membership::propose() {
 
 void membership::on_propose(const view_propose_msg& m) {
   if (m.new_view_id <= current_.id) return;  // stale
-  if (!is_primary(m.proposed_members.size())) return;  // minority view
+  // Primary-partition rule over the *current* view's members only: a
+  // proposal cannot vote itself into a majority by listing joiners.
+  std::size_t current_members = 0;
+  for (node_id n : m.proposed_members)
+    if (current_.contains(n)) ++current_members;
+  if (!is_primary(current_members)) return;  // minority view
   if (changing_ && (m.new_view_id < pending_view_ ||
                     (m.new_view_id == pending_view_ &&
                      m.hdr.sender > coordinator_)))
@@ -111,8 +154,9 @@ void membership::on_state(const view_state_msg& m) {
 
 void membership::maybe_send_cut() {
   if (cut_sent_) return;
+  // Joiners (pending members outside the current view) do not flush.
   for (node_id n : pending_members_)
-    if (!states_.count(n)) return;
+    if (current_.contains(n) && !states_.count(n)) return;
 
   const std::size_t width = current_.members.size();
   cut_.assign(width, 0);
@@ -169,7 +213,7 @@ void membership::on_flush_ok(const view_flush_ok_msg& m) {
 void membership::maybe_install() {
   if (!cut_sent_) return;
   for (node_id n : pending_members_)
-    if (!flush_oks_.count(n)) return;
+    if (current_.contains(n) && !flush_oks_.count(n)) return;
 
   view_install_msg m;
   m.hdr = {msg_type::view_install, current_.id, env_.self()};
@@ -181,6 +225,19 @@ void membership::maybe_install() {
 
 void membership::on_install(const view_install_msg& m) {
   if (m.new_view_id <= current_.id) return;
+  if (std::find(m.new_members.begin(), m.new_members.end(), env_.self()) ==
+      m.new_members.end()) {
+    // We were excluded but still hear the majority (an asymmetric cut:
+    // our outbound traffic is gone, inbound flows). Stall with sends
+    // stopped instead of adopting a view we are not part of — recovery
+    // (rejoin with state transfer) is the way back in.
+    DBSM_LOG(info, "gcs.membership",
+             "node " << env_.self() << " sees view " << m.new_view_id
+                     << " excluding itself; stalling");
+    excluded_ = true;
+    if (hooks_.stop_sends) hooks_.stop_sends();
+    return;
+  }
   finish_install(m);
 }
 
@@ -194,10 +251,12 @@ void membership::finish_install(const view_install_msg& m) {
            "node " << env_.self() << " installs view " << v.id);
 
   current_ = v;
+  excluded_ = false;
   changing_ = false;
   member_flush_done_ = false;
   pending_view_ = v.id;
   suspected_.clear();
+  join_candidates_.clear();
   states_.clear();
   flush_oks_.clear();
   cut_sent_ = false;

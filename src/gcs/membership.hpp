@@ -6,10 +6,14 @@
 //
 // The protocol tolerates lost control messages (periodic retry with fresh
 // view ids) and coordinator crashes (takeover by the next lowest id).
-// Membership only ever shrinks (crash-stop; recovery is out of scope, as
-// in the paper's experiments), and only a primary partition — a majority
-// of the current view — may install the next view: a minority side stalls
-// with sends stopped rather than split-braining the committed sequence.
+// Membership shrinks on suspicion (crash-stop, as in the paper's
+// experiments) and — when recovery is enabled — grows again through
+// admit(): the recovery layer (gcs/recovery.hpp) catches a rejoining site
+// up by state transfer, then asks the coordinator to merge it into the
+// next view; the flush consensus still runs among the current members
+// only. Only a primary partition — a majority of the current view — may
+// install the next view: a minority side stalls with sends stopped rather
+// than split-braining the committed sequence.
 #ifndef DBSM_GCS_MEMBERSHIP_HPP
 #define DBSM_GCS_MEMBERSHIP_HPP
 
@@ -52,13 +56,36 @@ class membership {
 
   membership(csrt::env& env, const group_config& cfg, view initial,
              hooks h);
+  ~membership();  // cancels the retry timer (safe mid-run teardown)
+
+  membership(const membership&) = delete;
+  membership& operator=(const membership&) = delete;
 
   /// Failure-detector input; triggers / widens a view change.
   void suspect(node_id n);
 
+  /// Coordinator-side view merge (membership recovery): include `joiner`
+  /// in the next proposed view. The flush consensus still runs among the
+  /// current members only — the joiner's catch-up is the recovery
+  /// protocol's job, not the flush's. No-op while a change is in progress
+  /// (the recovery layer re-requests until the joiner is in).
+  void admit(node_id joiner);
+
+  /// Joiner-side: adopt the merged view wholesale. It arrived through the
+  /// join protocol, already agreed by the primary partition — there is
+  /// nothing to flush here, and the caller rebuilds the streams itself
+  /// (no install hook fires).
+  void force_view(const view& v);
+
   bool changing() const { return changing_; }
   const view& current() const { return current_; }
   std::uint64_t view_changes() const { return view_changes_; }
+
+  /// True after this node saw a view install that excluded it (asymmetric
+  /// cut: inbound alive, outbound dead). An excluded node stalls — it may
+  /// not coordinate, donate state transfers, or admit joiners, even
+  /// though its stale current() still lists it first.
+  bool excluded() const { return excluded_; }
 
   // Control-message dispatch (from the group facade).
   void on_propose(const view_propose_msg& m);
@@ -86,7 +113,10 @@ class membership {
 
   view current_;
   std::set<node_id> suspected_;
+  /// Rejoining sites to include in the next proposed view (admit()).
+  std::set<node_id> join_candidates_;
   std::uint64_t view_changes_ = 0;
+  bool excluded_ = false;
 
   // Change-in-progress state (member role).
   bool changing_ = false;

@@ -23,6 +23,32 @@ reliable_mcast::reliable_mcast(csrt::env& env, group_config cfg,
     if (m != env_.self()) senders_.emplace(m, sender_state{});
 }
 
+reliable_mcast::~reliable_mcast() {
+  // The stack can be torn down mid-run (site restart, view-merge rebuild):
+  // every armed timer holds a callback into this object and must die first.
+  if (rate_timer_ != 0) env_.cancel_timer(rate_timer_);
+  if (flush_timer_ != 0) env_.cancel_timer(flush_timer_);
+  for (auto& [sender, st] : senders_)
+    if (st.nak_timer != 0) env_.cancel_timer(st.nak_timer);
+}
+
+void reliable_mcast::note_sender_high(node_id sender, std::uint64_t high) {
+  auto sit = senders_.find(sender);
+  if (sit == senders_.end()) return;
+  sender_state& st = sit->second;
+  if (high <= st.max_seen) return;
+  st.max_seen = high;
+  if (st.prefix < st.max_seen) arm_nak(sender, st);
+}
+
+std::vector<util::shared_bytes> reliable_mcast::unflushed_app_msgs(
+    std::uint64_t cut_self) const {
+  std::vector<util::shared_bytes> out;
+  for (const auto& [app_seq, entry] : pending_app_)
+    if (entry.second > cut_self) out.push_back(entry.first);
+  return out;
+}
+
 std::size_t reliable_mcast::member_index(node_id n) const {
   const auto it = std::lower_bound(members_.begin(), members_.end(), n);
   DBSM_CHECK_MSG(it != members_.end() && *it == n, "unknown member " << n);
@@ -54,6 +80,7 @@ void reliable_mcast::broadcast(util::shared_bytes payload) {
     tx_queue_.push_back(m.dgram_seq);
   }
   ++stats_.app_msgs_sent;
+  pending_app_.emplace(app_seq, std::make_pair(payload, my_dgram_seq_));
   // Local copy delivered immediately (the transport does not loop back).
   ++stats_.app_msgs_delivered;
   if (app_handler_)
@@ -132,6 +159,7 @@ void reliable_mcast::pump_retx() {
 void reliable_mcast::on_data(const data_msg& m, const util::shared_bytes& raw) {
   const node_id sender = m.hdr.sender;
   if (sender == env_.self()) return;  // own datagram echoed back
+  if (m.hdr.view_id < min_accept_view_) return;  // pre-merge epoch
   auto sit = senders_.find(sender);
   if (sit == senders_.end()) return;  // not (or no longer) a member
   sender_state& st = sit->second;
@@ -231,6 +259,7 @@ void reliable_mcast::nak_fire(node_id sender) {
 
 void reliable_mcast::on_nak(const nak_msg& m) {
   const node_id requester = m.hdr.sender;
+  if (m.hdr.view_id < min_accept_view_) return;  // pre-merge epoch
   if (m.target_sender == env_.self()) {
     for (std::uint64_t seq : m.missing) {
       auto it = send_buffer_.find(seq);
@@ -283,6 +312,9 @@ void reliable_mcast::collect_garbage(
         if (it->second.sent) quota_.remove(it->second.raw->size());
         it = send_buffer_.erase(it);
       }
+      auto pit = pending_app_.begin();
+      while (pit != pending_app_.end() && pit->second.second <= stable[i])
+        pit = pending_app_.erase(pit);
     } else {
       auto sit = senders_.find(m);
       if (sit == senders_.end()) continue;

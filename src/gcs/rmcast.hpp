@@ -39,9 +39,35 @@ class reliable_mcast {
 
   reliable_mcast(csrt::env& env, group_config cfg,
                  std::vector<node_id> members);
+  ~reliable_mcast();  // cancels all armed timers (safe mid-run teardown)
+
+  reliable_mcast(const reliable_mcast&) = delete;
+  reliable_mcast& operator=(const reliable_mcast&) = delete;
 
   void set_app_handler(app_msg_fn fn) { app_handler_ = std::move(fn); }
   void set_view_id(std::uint32_t id) { view_id_ = id; }
+
+  /// Datagrams (and NAKs) stamped with a view id below this are dropped.
+  /// Raised only when the stack is rebuilt at a view merge: streams restart
+  /// from zero there, so a stale in-flight datagram of the previous epoch
+  /// must not be mistaken for new-stream traffic. 0 (the default) accepts
+  /// everything — the historical behavior.
+  void set_min_accept_view(std::uint32_t id) { min_accept_view_ = id; }
+
+  /// Evidence of `sender`'s send-stream high water (heartbeat piggyback,
+  /// recovery mode): reveals datagrams this node never saw even when no
+  /// later traffic arrives to expose the gap, and NAKs for them.
+  void note_sender_high(node_id sender, std::uint64_t high);
+
+  /// Own send-stream high water (advertised in recovery-mode heartbeats).
+  std::uint64_t sent_high() const { return my_dgram_seq_; }
+
+  /// Application messages accepted by broadcast() but not yet covered by
+  /// `cut_self` (this node's flush cut): they never reached the other
+  /// members, and a view-merge rebuild would otherwise drop them. The
+  /// caller re-broadcasts them through the fresh stack, in order.
+  std::vector<util::shared_bytes> unflushed_app_msgs(
+      std::uint64_t cut_self) const;
 
   /// Reliably multicasts an application message (must run as real code).
   /// The local copy is delivered immediately.
@@ -123,12 +149,18 @@ class reliable_mcast {
   group_config cfg_;
   std::vector<node_id> members_;
   std::uint32_t view_id_ = 1;
+  std::uint32_t min_accept_view_ = 0;
   app_msg_fn app_handler_;
 
   // Send side.
   std::uint64_t my_dgram_seq_ = 0;
   std::uint64_t my_app_seq_ = 0;
   std::map<std::uint64_t, out_entry> send_buffer_;
+  /// app_seq -> {whole payload, last fragment's dgram_seq}; consulted only
+  /// at a view-merge rebuild (unflushed_app_msgs), pruned with the send
+  /// buffer.
+  std::map<std::uint64_t, std::pair<util::shared_bytes, std::uint64_t>>
+      pending_app_;
   std::deque<std::uint64_t> tx_queue_;
   std::deque<std::pair<node_id, util::shared_bytes>> retx_queue_;
   token_bucket bucket_;

@@ -35,6 +35,17 @@ std::vector<assignment> decode_assignments(const util::shared_bytes& raw) {
 total_order::total_order(csrt::env& env, const group_config& cfg)
     : env_(env), cfg_(cfg) {}
 
+total_order::~total_order() {
+  if (batch_timer_ != 0) env_.cancel_timer(batch_timer_);
+}
+
+void total_order::start_at(std::uint64_t next) {
+  DBSM_CHECK(complete_.empty() && order_.empty() && assigned_.empty());
+  DBSM_CHECK(next >= 1);
+  next_deliver_ = next;
+  next_assign_ = next;
+}
+
 void total_order::set_sequencer(node_id sequencer) {
   sequencer_ = sequencer;
   const bool was = am_sequencer_;

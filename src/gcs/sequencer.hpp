@@ -45,6 +45,15 @@ class total_order {
       std::function<void(util::shared_bytes batch)>;
 
   total_order(csrt::env& env, const group_config& cfg);
+  ~total_order();  // cancels the batch timer (safe mid-run teardown)
+
+  total_order(const total_order&) = delete;
+  total_order& operator=(const total_order&) = delete;
+
+  /// Rebases a *fresh* instance so delivery and assignment continue at
+  /// `next` (used when the stack is rebuilt at a view merge: the global
+  /// sequence runs on across the merge while the streams restart).
+  void start_at(std::uint64_t next);
 
   void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
   void set_send_assignments(send_assignments_fn fn) {

@@ -123,9 +123,20 @@ stab_msg decode_stab(const util::shared_bytes& raw) {
 }
 
 util::shared_bytes encode(const heartbeat_msg& m) {
-  util::buffer_writer w(16);
+  util::buffer_writer w(24);
   put_header(w, m.hdr);
+  // The high-water field travels only when recovery is enabled (the caller
+  // leaves it empty otherwise), keeping the historical wire size — and the
+  // serialization timing of recovery-off runs — unchanged.
+  if (m.sent_high) w.put_u64(*m.sent_high);
   return w.take();
+}
+
+heartbeat_msg decode_heartbeat(const util::shared_bytes& raw) {
+  heartbeat_msg m;
+  auto r = open(raw, msg_type::heartbeat, m.hdr);
+  if (r.remaining() >= 8) m.sent_high = r.get_u64();
+  return m;
 }
 
 util::shared_bytes encode(const view_propose_msg& m) {
@@ -210,6 +221,138 @@ view_install_msg decode_view_install(const util::shared_bytes& raw) {
   m.new_view_id = r.get_u32();
   m.new_members = get_node_vec(r);
   m.cut = get_u64_vec(r);
+  return m;
+}
+
+util::shared_bytes encode(const join_request_msg& m) {
+  util::buffer_writer w(24);
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  return w.take();
+}
+
+join_request_msg decode_join_request(const util::shared_bytes& raw) {
+  join_request_msg m;
+  auto r = open(raw, msg_type::join_request, m.hdr);
+  m.incarnation = r.get_u64();
+  return m;
+}
+
+util::shared_bytes encode(const join_chunk_msg& m) {
+  DBSM_CHECK(m.payload != nullptr);
+  util::buffer_writer w(40 + m.payload->size());
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  w.put_u64(m.snap_pos);
+  w.put_u32(m.chunk_idx);
+  w.put_u32(m.chunk_cnt);
+  w.put_u32(static_cast<std::uint32_t>(m.payload->size()));
+  w.put_bytes(m.payload->data(), m.payload->size());
+  return w.take();
+}
+
+join_chunk_msg decode_join_chunk(const util::shared_bytes& raw) {
+  join_chunk_msg m;
+  auto r = open(raw, msg_type::join_chunk, m.hdr);
+  m.incarnation = r.get_u64();
+  m.snap_pos = r.get_u64();
+  m.chunk_idx = r.get_u32();
+  m.chunk_cnt = r.get_u32();
+  const std::uint32_t len = r.get_u32();
+  auto payload = std::make_shared<util::bytes>(len);
+  r.get_bytes(payload->data(), len);
+  m.payload = std::move(payload);
+  return m;
+}
+
+util::shared_bytes encode(const join_chunk_ack_msg& m) {
+  util::buffer_writer w(24);
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  w.put_u32(m.chunk_idx);
+  return w.take();
+}
+
+join_chunk_ack_msg decode_join_chunk_ack(const util::shared_bytes& raw) {
+  join_chunk_ack_msg m;
+  auto r = open(raw, msg_type::join_chunk_ack, m.hdr);
+  m.incarnation = r.get_u64();
+  m.chunk_idx = r.get_u32();
+  return m;
+}
+
+util::shared_bytes encode(const join_fwd_msg& m) {
+  DBSM_CHECK(m.payload != nullptr);
+  util::buffer_writer w(40 + m.payload->size());
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  w.put_u64(m.global_seq);
+  w.put_u32(m.orig_sender);
+  w.put_u32(static_cast<std::uint32_t>(m.payload->size()));
+  w.put_bytes(m.payload->data(), m.payload->size());
+  return w.take();
+}
+
+join_fwd_msg decode_join_fwd(const util::shared_bytes& raw) {
+  join_fwd_msg m;
+  auto r = open(raw, msg_type::join_fwd, m.hdr);
+  m.incarnation = r.get_u64();
+  m.global_seq = r.get_u64();
+  m.orig_sender = r.get_u32();
+  const std::uint32_t len = r.get_u32();
+  auto payload = std::make_shared<util::bytes>(len);
+  r.get_bytes(payload->data(), len);
+  m.payload = std::move(payload);
+  return m;
+}
+
+util::shared_bytes encode(const join_fwd_ack_msg& m) {
+  util::buffer_writer w(24);
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  w.put_u64(m.replayed_to);
+  return w.take();
+}
+
+join_fwd_ack_msg decode_join_fwd_ack(const util::shared_bytes& raw) {
+  join_fwd_ack_msg m;
+  auto r = open(raw, msg_type::join_fwd_ack, m.hdr);
+  m.incarnation = r.get_u64();
+  m.replayed_to = r.get_u64();
+  return m;
+}
+
+util::shared_bytes encode(const join_commit_msg& m) {
+  util::buffer_writer w(48);
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  w.put_u64(m.commit_seq);
+  w.put_u32(m.view_id);
+  put_node_vec(w, m.members);
+  return w.take();
+}
+
+join_commit_msg decode_join_commit(const util::shared_bytes& raw) {
+  join_commit_msg m;
+  auto r = open(raw, msg_type::join_commit, m.hdr);
+  m.incarnation = r.get_u64();
+  m.commit_seq = r.get_u64();
+  m.view_id = r.get_u32();
+  m.members = get_node_vec(r);
+  return m;
+}
+
+util::shared_bytes encode(const join_done_msg& m) {
+  util::buffer_writer w(24);
+  put_header(w, m.hdr);
+  w.put_u64(m.incarnation);
+  return w.take();
+}
+
+join_done_msg decode_join_done(const util::shared_bytes& raw) {
+  join_done_msg m;
+  auto r = open(raw, msg_type::join_done, m.hdr);
+  m.incarnation = r.get_u64();
   return m;
 }
 

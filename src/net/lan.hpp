@@ -56,8 +56,12 @@ class lan final : public medium {
   }
   void set_rx_loss(node_id node, std::shared_ptr<loss_model> model) override;
   void isolate(node_id node) override;
+  void restore(node_id node) override;
   void set_link_cut(node_id a, node_id b, bool cut) override;
+  void set_link_cut_oneway(node_id from, node_id to, bool cut) override;
   void set_link_extra_delay(node_id a, node_id b, sim_duration extra) override;
+  void set_link_extra_delay_oneway(node_id from, node_id to,
+                                   sim_duration extra) override;
   std::uint64_t wire_bytes_sent(node_id node) const override;
   std::uint64_t total_wire_bytes() const override;
   void set_tracer(trace_fn fn) override;

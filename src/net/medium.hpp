@@ -59,17 +59,31 @@ class medium {
   /// Isolates a crashed host: nothing in, nothing out, from now on.
   virtual void isolate(node_id node) = 0;
 
+  /// Reconnects a previously isolated host (site recovery): traffic flows
+  /// again from now on; datagrams dropped while isolated stay dropped.
+  virtual void restore(node_id node) = 0;
+
   /// Cuts (or heals) the symmetric link between two hosts: datagrams whose
   /// delivery would cross a cut link are discarded at reception time, so a
   /// cut also kills traffic already in flight. Network partitions are sets
   /// of cut links between two host groups.
   virtual void set_link_cut(node_id a, node_id b, bool cut) = 0;
 
+  /// Directional cut: only datagrams travelling `from` → `to` are
+  /// discarded; the reverse direction keeps flowing. One-way faults
+  /// exercise the failure detector's asymmetric-suspicion paths.
+  virtual void set_link_cut_oneway(node_id from, node_id to, bool cut) = 0;
+
   /// Adds extra one-way delay (both directions) to datagrams crossing the
   /// link between two hosts; 0 restores nominal timing. Models a degraded
   /// path without dropping traffic.
   virtual void set_link_extra_delay(node_id a, node_id b,
                                     sim_duration extra) = 0;
+
+  /// Directional extra delay: applies only to datagrams travelling
+  /// `from` → `to`.
+  virtual void set_link_extra_delay_oneway(node_id from, node_id to,
+                                           sim_duration extra) = 0;
 
   /// Wire-level bytes transmitted by `node` (payload + all header overhead).
   virtual std::uint64_t wire_bytes_sent(node_id node) const = 0;
@@ -80,20 +94,32 @@ class medium {
   virtual void set_tracer(trace_fn fn) = 0;
 };
 
-/// Per-link fault state (cut + extra delay) keyed by unordered host pair;
-/// shared by the medium implementations.
+/// Per-link fault state (cut + extra delay) keyed by *ordered* host pair,
+/// so faults can act on one direction of a link only; the symmetric calls
+/// are wrappers writing both directions. Shared by the medium
+/// implementations; lookups take (from, to) in traffic direction.
 class link_fault_map {
  public:
-  void set_cut(node_id a, node_id b, bool cut) { entry_for(a, b).cut = cut; }
-  void set_extra_delay(node_id a, node_id b, sim_duration extra) {
-    entry_for(a, b).extra_delay = extra;
+  void set_cut(node_id a, node_id b, bool cut) {
+    set_cut_oneway(a, b, cut);
+    set_cut_oneway(b, a, cut);
   }
-  bool cut(node_id a, node_id b) const {
-    const auto it = links_.find(key(a, b));
+  void set_cut_oneway(node_id from, node_id to, bool cut) {
+    entry_for(from, to).cut = cut;
+  }
+  void set_extra_delay(node_id a, node_id b, sim_duration extra) {
+    set_extra_delay_oneway(a, b, extra);
+    set_extra_delay_oneway(b, a, extra);
+  }
+  void set_extra_delay_oneway(node_id from, node_id to, sim_duration extra) {
+    entry_for(from, to).extra_delay = extra;
+  }
+  bool cut(node_id from, node_id to) const {
+    const auto it = links_.find(key(from, to));
     return it != links_.end() && it->second.cut;
   }
-  sim_duration extra_delay(node_id a, node_id b) const {
-    const auto it = links_.find(key(a, b));
+  sim_duration extra_delay(node_id from, node_id to) const {
+    const auto it = links_.find(key(from, to));
     return it == links_.end() ? 0 : it->second.extra_delay;
   }
   /// Fast path: no link fault was ever installed.
@@ -104,11 +130,10 @@ class link_fault_map {
     bool cut = false;
     sim_duration extra_delay = 0;
   };
-  static std::uint64_t key(node_id a, node_id b) {
-    if (a > b) std::swap(a, b);
-    return (static_cast<std::uint64_t>(a) << 32) | b;
+  static std::uint64_t key(node_id from, node_id to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
   }
-  entry& entry_for(node_id a, node_id b) { return links_[key(a, b)]; }
+  entry& entry_for(node_id from, node_id to) { return links_[key(from, to)]; }
 
   std::unordered_map<std::uint64_t, entry> links_;
 };

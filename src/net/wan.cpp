@@ -29,15 +29,29 @@ void wan::set_rx_loss(node_id node, std::shared_ptr<loss_model> model) {
 
 void wan::isolate(node_id node) { hosts_.at(node).isolated = true; }
 
+void wan::restore(node_id node) { hosts_.at(node).isolated = false; }
+
 void wan::set_link_cut(node_id a, node_id b, bool cut) {
   DBSM_CHECK(a < hosts_.size() && b < hosts_.size());
   link_faults_.set_cut(a, b, cut);
+}
+
+void wan::set_link_cut_oneway(node_id from, node_id to, bool cut) {
+  DBSM_CHECK(from < hosts_.size() && to < hosts_.size());
+  link_faults_.set_cut_oneway(from, to, cut);
 }
 
 void wan::set_link_extra_delay(node_id a, node_id b, sim_duration extra) {
   DBSM_CHECK(a < hosts_.size() && b < hosts_.size());
   DBSM_CHECK(extra >= 0);
   link_faults_.set_extra_delay(a, b, extra);
+}
+
+void wan::set_link_extra_delay_oneway(node_id from, node_id to,
+                                      sim_duration extra) {
+  DBSM_CHECK(from < hosts_.size() && to < hosts_.size());
+  DBSM_CHECK(extra >= 0);
+  link_faults_.set_extra_delay_oneway(from, to, extra);
 }
 
 void wan::set_tracer(trace_fn fn) { tracer_ = std::move(fn); }

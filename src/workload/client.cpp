@@ -19,6 +19,13 @@ void client::start(sim_duration initial_delay) {
   sim_.schedule_after(initial_delay, [this] { issue(); });
 }
 
+void client::resume() {
+  if (!stopped_) return;
+  stopped_ = false;
+  waiting_ = false;  // the old reply callback died with the old replica
+  sim_.schedule_after(0, [this] { issue(); });
+}
+
 void client::issue() {
   if (stopped_) return;
   db::txn_request req = source_->next(sim_.now());

@@ -42,6 +42,12 @@ class client {
   /// Stops issuing new transactions (e.g. its site crashed).
   void stop() { stopped_ = true; }
 
+  /// Resumes a stopped client after its site rejoined. A request that was
+  /// in flight at the crash can never be answered (the replica was
+  /// rebuilt), so it is abandoned — no outcome recorded — and the client
+  /// issues afresh.
+  void resume();
+
   std::uint64_t completed() const { return completed_; }
   bool waiting_for_reply() const { return waiting_; }
 

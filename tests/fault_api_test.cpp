@@ -226,6 +226,99 @@ TEST(link_delay, shifts_arrival_by_the_extra_delay) {
   EXPECT_EQ(rig.arrivals[1][2] - sent_again, nominal);
 }
 
+// --- asymmetric link faults ------------------------------------------
+
+TEST(asymmetric_faults, one_way_cut_drops_only_one_direction) {
+  site_rig rig(2, /*with_lan=*/true);
+  auto pts = rig.points();
+  auto cut = partition_fault::one_way(site_set{0}, site_set{1});
+
+  cut->arm(pts);
+  rig.lan->send(0, 1, payload_of(100));  // 0 -> 1 crosses the cut: dropped
+  rig.lan->send(1, 0, payload_of(100));  // 1 -> 0 flows
+  rig.s.run();
+  EXPECT_TRUE(rig.arrivals[1].empty());
+  EXPECT_EQ(rig.arrivals[0].size(), 1u);
+  EXPECT_EQ(rig.lan->link_cut_drops(1), 1u);
+  EXPECT_EQ(rig.lan->link_cut_drops(0), 0u);
+
+  // Heal: symmetric delivery is restored.
+  cut->disarm(pts);
+  rig.lan->send(0, 1, payload_of(100));
+  rig.lan->send(1, 0, payload_of(100));
+  rig.s.run();
+  EXPECT_EQ(rig.arrivals[1].size(), 1u);
+  EXPECT_EQ(rig.arrivals[0].size(), 2u);
+}
+
+TEST(asymmetric_faults, one_way_delay_shifts_only_one_direction) {
+  site_rig rig(2, /*with_lan=*/true);
+  rig.lan->send(0, 1, payload_of(100));
+  rig.s.run();
+  ASSERT_EQ(rig.arrivals[1].size(), 1u);
+  const sim_duration nominal = rig.arrivals[1][0];
+
+  auto pts = rig.points();
+  auto slow = link_delay_fault::one_way(milliseconds(5), site_set{0},
+                                        site_set{1});
+  slow->arm(pts);
+  sim_time sent_at = rig.s.now();
+  rig.lan->send(0, 1, payload_of(100));  // delayed direction
+  rig.s.run();
+  ASSERT_EQ(rig.arrivals[1].size(), 2u);
+  EXPECT_EQ(rig.arrivals[1][1] - sent_at, nominal + milliseconds(5));
+
+  sent_at = rig.s.now();
+  rig.lan->send(1, 0, payload_of(100));  // reverse direction: nominal
+  rig.s.run();
+  ASSERT_EQ(rig.arrivals[0].size(), 1u);
+  EXPECT_EQ(rig.arrivals[0][0] - sent_at, nominal);
+}
+
+TEST(asymmetric_faults, one_way_cut_suspicion_only_on_non_receiving_side) {
+  // Suspicion follows the direction of the cut, not the link: only the
+  // side that stops *receiving* liveness proofs suspects.
+  core::experiment_config base;
+  base.sites = 3;
+  base.clients = 24;
+  base.target_responses = 250;
+  base.max_sim_time = seconds(400);
+  base.seed = 31337;
+
+  // Outbound cut ({2} -> {0, 1}): sites 0 and 1 stop hearing site 2 and
+  // exclude it; site 2 hears everyone, suspects nobody, sees the view
+  // that excludes it, and stalls its sends instead of split-braining —
+  // while still mirroring the majority's delivered sequence as a silent
+  // listener.
+  {
+    auto cfg = base;
+    scenario s("one_way_out_cut");
+    s.add(partition_fault::one_way(site_set{2}), seconds(10), seconds(14));
+    cfg.faults = s;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_TRUE(r.safety.ok) << r.safety.detail;
+    EXPECT_GE(r.view_changes, 1u);  // the hearing side excluded site 2
+    EXPECT_GT(r.stats.total_committed(), 50u);
+  }
+
+  // Inbound cut ({0, 1} -> {2}): only site 2 stops hearing. It suspects
+  // the others, finds itself a minority, and withholds any proposal; the
+  // majority keeps hearing site 2's heartbeats and never suspects it —
+  // no view change at all. The heal restores symmetric delivery and NAK
+  // recovery catches site 2 back up.
+  {
+    auto cfg = base;
+    scenario s("one_way_in_cut");
+    s.add(partition_fault::one_way(site_set{0, 1}, site_set{2}),
+          seconds(10), seconds(14));
+    cfg.faults = s;
+    const auto r = core::run_experiment(cfg);
+    EXPECT_TRUE(r.safety.ok) << r.safety.detail;
+    EXPECT_EQ(r.view_changes, 0u);  // nobody excluded anybody
+    EXPECT_GT(r.stats.total_committed(), 50u);
+  }
+}
+
 // --- scenario catalog -------------------------------------------------
 
 TEST(scenario_catalog, finds_and_builds_every_entry) {

@@ -7,6 +7,7 @@
 
 #include "core/experiment.hpp"
 #include "fault/fault_types.hpp"
+#include "fault/scenarios.hpp"
 
 namespace dbsm::core {
 namespace {
@@ -16,11 +17,18 @@ struct fault_case {
   fault::scenario scenario;
   unsigned sites;
   unsigned clients;
+  /// Run with membership recovery; expect this many rejoined sites.
+  unsigned expect_rejoined = 0;
+  /// Nonzero: run for this much simulated time instead of a response
+  /// target (recovery cases must outlive their last rejoin).
+  sim_duration run_for = 0;
 };
 
 fault_case make_case(const char* name, fault::scenario s, unsigned sites = 3,
-                     unsigned clients = 30) {
-  return fault_case{name, std::move(s), sites, clients};
+                     unsigned clients = 30, unsigned expect_rejoined = 0,
+                     sim_duration run_for = 0) {
+  return fault_case{name, std::move(s), sites, clients, expect_rejoined,
+                    run_for};
 }
 
 std::vector<fault_case> all_cases() {
@@ -102,6 +110,23 @@ std::vector<fault_case> all_cases() {
     cases.push_back(
         make_case("slow_replica_plus_loss_burst", std::move(s)));
   }
+  // --- recovery scenarios: full cut/heal/rejoin cycles. The §5.3 check
+  // --- runs over every rejoined site's complete (transferred prefix +
+  // --- replay + live) committed sequence.
+  {
+    fault::scenarios::params prm;
+    prm.sites = 3;
+    prm.onset = seconds(8);
+    cases.push_back(make_case("partition_cut_heal_rejoin",
+                              fault::scenarios::partition_cut_heal_rejoin(prm),
+                              3, 30, /*expect_rejoined=*/1, seconds(30)));
+    cases.push_back(make_case("crash_restart",
+                              fault::scenarios::crash_restart(prm), 3, 30,
+                              /*expect_rejoined=*/1, seconds(30)));
+    cases.push_back(make_case("rolling_restarts",
+                              fault::scenarios::rolling_restarts(prm), 3, 30,
+                              /*expect_rejoined=*/3, seconds(70)));
+  }
   return cases;
 }
 
@@ -113,10 +138,11 @@ TEST_P(safety_under_faults, operational_sites_agree) {
   cfg.sites = fc.sites;
   cfg.cpus_per_site = 1;
   cfg.clients = fc.clients;
-  cfg.target_responses = 250;
-  cfg.max_sim_time = seconds(400);
+  cfg.target_responses = fc.run_for != 0 ? 0 : 250;
+  cfg.max_sim_time = fc.run_for != 0 ? fc.run_for : seconds(400);
   cfg.seed = 1234;
   cfg.faults = fc.scenario;
+  cfg.enable_recovery = fc.expect_rejoined > 0;
 
   const auto result = run_experiment(cfg);
 
@@ -125,6 +151,8 @@ TEST_P(safety_under_faults, operational_sites_agree) {
   // Liveness: the system made progress despite the faults.
   EXPECT_GT(result.stats.total_committed(), 50u) << fc.name;
   EXPECT_GT(result.safety.common_prefix, 10u) << fc.name;
+  // Recovery: every site the scenario brings back must be in again.
+  EXPECT_EQ(result.rejoined_sites(), fc.expect_rejoined) << fc.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(
