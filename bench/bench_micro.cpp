@@ -5,6 +5,7 @@
 
 #include "cert/certifier.hpp"
 #include "cert/reference_certifier.hpp"
+#include "cert/sharded_certifier.hpp"
 #include "cert/txn_codec.hpp"
 #include "db/lock_table.hpp"
 #include "gcs/stability.hpp"
@@ -43,19 +44,18 @@ BENCHMARK(BM_event_queue)->Arg(1000)->Arg(10000)->Arg(100000);
 // certification COMMITS: the scan cannot early-exit on a conflict and both
 // certifiers exercise the history-admission path each iteration.
 template <typename Certifier>
-void run_certify_bench(benchmark::State& state) {
-  const auto window = static_cast<std::size_t>(state.range(0));
-  cert::cert_config cfg;
-  cfg.history_window = window;
+void run_certify_bench(benchmark::State& state, cert::cert_config cfg,
+                       std::size_t set_elems) {
+  const std::size_t window = cfg.history_window;
   Certifier c(cfg);
   util::rng g(1);
-  // Prefill: `window` committed write sets of 20 random tuples, tagged
-  // with bit 40 to keep them disjoint from measured ids.
+  // Prefill: `window` committed write sets of `set_elems` random tuples,
+  // tagged with bit 40 to keep them disjoint from measured ids.
   {
     std::vector<db::item_id> ws;
     while (c.history_size() < window) {
       ws.clear();
-      for (int k = 0; k < 20; ++k)
+      for (std::size_t k = 0; k < set_elems; ++k)
         ws.push_back((db::item_id(1) << 40) |
                      (static_cast<db::item_id>(g.uniform_int(0, 1 << 26))
                       << 1));
@@ -64,14 +64,15 @@ void run_certify_bench(benchmark::State& state) {
     }
   }
   // Fixed tuple-level read set (point reads are snapshot-served and never
-  // conflict) and a fresh ascending 20-tuple write set per iteration.
-  std::vector<db::item_id> rs(10), ws(20);
+  // conflict) and a fresh ascending write set per iteration.
+  std::vector<db::item_id> rs(set_elems / 2), ws(set_elems);
   for (std::size_t k = 0; k < rs.size(); ++k)
     rs[k] = static_cast<db::item_id>((1000 + k) << 1);
   std::uint64_t fresh = 1;
   for (auto _ : state) {
     for (std::size_t k = 0; k < ws.size(); ++k)
-      ws[k] = static_cast<db::item_id>((fresh * 32 + k) << 1);
+      ws[k] = static_cast<db::item_id>(
+          (fresh * 2 * set_elems + k) << 1);
     ++fresh;
     // Oldest snapshot that escapes the conservative pre-window abort:
     // every retained committed write set is concurrent with it.
@@ -83,13 +84,38 @@ void run_certify_bench(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+template <typename Certifier>
+void run_certify_window_bench(benchmark::State& state) {
+  cert::cert_config cfg;
+  cfg.history_window = static_cast<std::size_t>(state.range(0));
+  run_certify_bench<Certifier>(state, cfg, 20);
+}
+
 void BM_certify_indexed(benchmark::State& state) {
-  run_certify_bench<cert::certifier>(state);
+  run_certify_window_bench<cert::certifier>(state);
 }
 BENCHMARK(BM_certify_indexed)->Arg(1000)->Arg(10000)->Arg(50000);
 
+// Sharded parallel certification on large (256-element) write sets:
+// Args are {shards, certify_threads}. Real thread scaling needs real
+// cores; the modeled cost (what the figure benches charge) follows the
+// fork-join critical path either way.
+void BM_certify_sharded(benchmark::State& state) {
+  cert::cert_config cfg;
+  cfg.history_window = 2000;
+  cfg.shards = static_cast<std::size_t>(state.range(0));
+  cfg.certify_threads = static_cast<unsigned>(state.range(1));
+  run_certify_bench<cert::sharded_certifier>(state, cfg, 256);
+}
+BENCHMARK(BM_certify_sharded)
+    ->Args({1, 1})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_certify_scan(benchmark::State& state) {
-  run_certify_bench<cert::reference_certifier>(state);
+  run_certify_window_bench<cert::reference_certifier>(state);
 }
 BENCHMARK(BM_certify_scan)
     ->Arg(1000)

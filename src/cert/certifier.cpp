@@ -21,30 +21,7 @@ bool certifier::conflicts(std::uint64_t begin_pos,
     // begin_pos >= oldest_retained_ - 1 >= stale entry position.
     return true;
   }
-  // Point reads are snapshot-served; only escalated (granule) reads can
-  // conflict — with the last committed write advertising that granule.
-  for (const db::item_id id : read_set) {
-    if (db::is_granule(id) && index_.last_writer(id) > begin_pos)
-      return true;
-  }
-  if (write_set != nullptr) {
-    // Write-write at tuple granularity: granule markers are skipped
-    // (two writers inside one granule do not conflict), exactly like the
-    // reference scan's merge rule.
-    for (const db::item_id id : *write_set) {
-      if (!db::is_granule(id) && index_.last_writer(id) > begin_pos)
-        return true;
-    }
-  }
-  return false;
-}
-
-void certifier::drain_evicted(std::size_t max_entries) {
-  while (max_entries-- > 0 && !evicted_.empty()) {
-    const entry& e = evicted_.front();
-    index_.forget_commit(e.write_set, e.pos);
-    evicted_.pop_front();
-  }
+  return shard_.conflicts(begin_pos, read_set, write_set);
 }
 
 bool certifier::certify_update(std::uint64_t begin_pos,
@@ -54,7 +31,7 @@ bool certifier::certify_update(std::uint64_t begin_pos,
                  "snapshot " << begin_pos << " is in the future of "
                              << position_);
   ++position_;
-  drain_evicted(cfg_.evict_drain_per_delivery);
+  shard_.drain(cfg_.evict_drain_per_delivery);
   const bool conflict = conflicts(begin_pos, read_set, &write_set);
   // Modeled cost: one probe per element of the transaction's own sets —
   // deterministic and window-independent, like the real work.
@@ -67,11 +44,11 @@ bool certifier::certify_update(std::uint64_t begin_pos,
     return false;
   }
   ++commits_;
-  index_.note_commit(write_set, position_);
-  history_.push_back(entry{position_, write_set});
+  shard_.install(write_set, position_);
+  history_.push_back(cert_entry{position_, write_set});
   while (history_.size() > cfg_.history_window) {
     oldest_retained_ = history_.front().pos + 1;
-    evicted_.push_back(std::move(history_.front()));
+    shard_.queue_eviction(std::move(history_.front()));
     history_.pop_front();
   }
   return true;
@@ -91,16 +68,8 @@ void certifier::snapshot(util::buffer_writer& w) const {
   w.put_u64(oldest_retained_);
   w.put_u64(commits_);
   w.put_u64(aborts_);
-  auto put_entries = [&w](const std::deque<entry>& entries) {
-    w.put_u32(static_cast<std::uint32_t>(entries.size()));
-    for (const entry& e : entries) {
-      w.put_u64(e.pos);
-      w.put_u32(static_cast<std::uint32_t>(e.write_set.size()));
-      for (const db::item_id id : e.write_set) w.put_u64(id);
-    }
-  };
-  put_entries(evicted_);
-  put_entries(history_);
+  write_entry_block(w, shard_.evicted());
+  write_entry_block(w, history_);
 }
 
 void certifier::restore(util::buffer_reader& r) {
@@ -109,25 +78,18 @@ void certifier::restore(util::buffer_reader& r) {
   oldest_retained_ = r.get_u64();
   commits_ = r.get_u64();
   aborts_ = r.get_u64();
-  auto get_entries = [&r](std::deque<entry>& entries) {
-    const std::uint32_t n = r.get_u32();
-    for (std::uint32_t i = 0; i < n; ++i) {
-      entry e;
-      e.pos = r.get_u64();
-      const std::uint32_t items = r.get_u32();
-      e.write_set.reserve(items);
-      for (std::uint32_t j = 0; j < items; ++j)
-        e.write_set.push_back(r.get_u64());
-      entries.push_back(std::move(e));
-    }
-  };
-  get_entries(evicted_);
-  get_entries(history_);
   // Rebuild the index by replay: evicted entries first (older positions),
   // then the retained window — identical contents to the donor's, stale
-  // backlog entries included.
-  for (const entry& e : evicted_) index_.note_commit(e.write_set, e.pos);
-  for (const entry& e : history_) index_.note_commit(e.write_set, e.pos);
+  // backlog entries included. The canonical entry blocks carry full write
+  // sets, so this works no matter how many shards the donor ran.
+  for (cert_entry& e : read_entry_block(r)) {
+    shard_.install(e.write_set, e.pos);
+    shard_.queue_eviction(std::move(e));
+  }
+  for (cert_entry& e : read_entry_block(r)) {
+    shard_.install(e.write_set, e.pos);
+    history_.push_back(std::move(e));
+  }
 }
 
 }  // namespace dbsm::cert

@@ -31,7 +31,7 @@
 #include <deque>
 #include <vector>
 
-#include "cert/cert_index.hpp"
+#include "cert/index_shard.hpp"
 #include "cert/rwset.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/types.hpp"
@@ -61,6 +61,22 @@ struct cert_config {
   /// written. Larger rates clear an accumulated backlog in fewer
   /// deliveries.
   std::size_t evict_drain_per_delivery = 2;
+  /// Hash partitions of the last-writer index (tuple and granule spaces
+  /// both), used by cert::sharded_certifier. Decisions are
+  /// shard-count-invariant; 1 keeps today's single-index layout and
+  /// behavior byte-identical to cert::certifier.
+  std::size_t shards = 1;
+  /// Fork width of the sharded certifier's per-delivery fork-join (the
+  /// delivery thread participates, so 1 runs inline and creates no
+  /// threads — the default is byte-identical to cert::certifier).
+  /// Meaningful only when shards > 1.
+  unsigned certify_threads = 1;
+  /// Modeled fork/join overhead charged once per certification when the
+  /// sharded certifier actually forks (certify_threads > 1 on more than
+  /// one shard) — the fixed price of the parallel term. The per-element
+  /// term then follows the critical path: the fork worker whose shard
+  /// range holds the most probed elements.
+  sim_duration cost_fork_join = microseconds(2);
 };
 
 class certifier {
@@ -106,31 +122,22 @@ class certifier {
   std::size_t history_size() const { return history_.size(); }
   /// Live entries in the last-writer index (bounded by the window's
   /// distinct ids plus the not-yet-drained evicted entries).
-  std::size_t index_size() const { return index_.size(); }
+  std::size_t index_size() const { return shard_.index_size(); }
   /// Evicted write sets queued for lazy index cleanup and not yet
   /// drained (cert_config::evict_drain_per_delivery).
-  std::size_t evicted_backlog() const { return evicted_.size(); }
+  std::size_t evicted_backlog() const { return shard_.evicted_backlog(); }
 
  private:
-  struct entry {
-    std::uint64_t pos;
-    std::vector<db::item_id> write_set;
-  };
-
   /// Index probes over ids with a committed writer in (begin_pos, +inf).
   bool conflicts(std::uint64_t begin_pos,
                  const std::vector<db::item_id>& read_set,
                  const std::vector<db::item_id>* write_set) const;
 
-  /// Removes up to `max_entries` evicted write sets' stale index entries.
-  void drain_evicted(std::size_t max_entries);
-
   cert_config cfg_;
-  last_writer_index index_;
-  std::deque<entry> history_;  // ascending positions, committed only
-  /// Write sets that slid out of the window, queued for lazy index
-  /// cleanup (stale entries are decision-safe; see cert_index.hpp).
-  std::deque<entry> evicted_;
+  /// The whole index and eviction ring as one shard (this certifier is
+  /// the shards == 1 special case of the partitioned layout).
+  index_shard shard_;
+  std::deque<cert_entry> history_;  // ascending positions, committed only
   std::uint64_t position_ = 0;
   std::uint64_t oldest_retained_ = 1;
   mutable sim_duration last_cost_ = 0;

@@ -1,0 +1,51 @@
+#include "cert/index_shard.hpp"
+
+namespace dbsm::cert {
+
+bool index_shard::conflicts(std::uint64_t begin_pos,
+                            const std::vector<db::item_id>& read_slice,
+                            const std::vector<db::item_id>* write_slice)
+    const {
+  // Point reads are snapshot-served; only escalated (granule) reads can
+  // conflict — with the last committed write advertising that granule.
+  for (const db::item_id id : read_slice) {
+    if (db::is_granule(id) && index_.last_writer(id) > begin_pos)
+      return true;
+  }
+  if (write_slice != nullptr) {
+    // Write-write at tuple granularity: granule markers are skipped (two
+    // writers inside one granule do not conflict), exactly like the
+    // reference scan's merge rule.
+    for (const db::item_id id : *write_slice) {
+      if (!db::is_granule(id) && index_.last_writer(id) > begin_pos)
+        return true;
+    }
+  }
+  return false;
+}
+
+void index_shard::drain(std::size_t max_entries) {
+  while (max_entries-- > 0 && !evicted_.empty()) {
+    const cert_entry& e = evicted_.front();
+    index_.forget_commit(e.write_set, e.pos);
+    evicted_.pop_front();
+  }
+}
+
+std::vector<cert_entry> read_entry_block(util::buffer_reader& r) {
+  std::vector<cert_entry> out;
+  const std::uint32_t n = r.get_u32();
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cert_entry e;
+    e.pos = r.get_u64();
+    const std::uint32_t items = r.get_u32();
+    e.write_set.reserve(items);
+    for (std::uint32_t j = 0; j < items; ++j)
+      e.write_set.push_back(r.get_u64());
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace dbsm::cert

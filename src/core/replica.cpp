@@ -122,8 +122,9 @@ void replica::on_deliver(node_id, std::uint64_t,
                          util::shared_bytes payload) {
   if (halted_) return;
   // Runs as real code in the delivery job: unmarshal and certify against
-  // the indexed certifier (O(|read_set| + |write_set|) probes; decisions
-  // identical to the reference merge scan at every replica).
+  // the sharded last-writer index (O(|read_set| + |write_set|) probes,
+  // forked across shards when configured; decisions identical to the
+  // reference merge scan at every replica and at every shard count).
   env_.charge(codec_cost(payload->size()));
   const cert::txn_payload txn = cert::decode_txn(payload);
   const bool commit =

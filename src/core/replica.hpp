@@ -7,15 +7,18 @@
 // release, reply) or abort. Remote path: certified transactions apply
 // with preemption. Read-only transactions certify locally, without
 // multicast, so their latency is unaffected by replication (§5.1).
-// Certification runs on the inverted last-writer index (cert/), so the
+// Certification runs on the sharded last-writer index (cert/), so the
 // per-delivery work is O(|read_set| + |write_set|) regardless of the
-// retained history window.
+// retained history window, and with cert_config::{shards,
+// certify_threads} > 1 the probes fork across a persistent worker pool
+// (decisions stay bit-identical at any shard/thread count; the default
+// 1/1 runs inline exactly like cert::certifier).
 #ifndef DBSM_CORE_REPLICA_HPP
 #define DBSM_CORE_REPLICA_HPP
 
 #include <unordered_map>
 
-#include "cert/certifier.hpp"
+#include "cert/sharded_certifier.hpp"
 #include "cert/txn_codec.hpp"
 #include "csrt/sim_env.hpp"
 #include "db/server.hpp"
@@ -56,8 +59,10 @@ class replica {
   void start();
 
   /// Marshals the replica state for a membership-recovery transfer: the
-  /// certification state (position, history, index — via cert::certifier)
-  /// and the committed sequence. Called by the donor between deliveries.
+  /// certification state (position, history, index — in the canonical
+  /// shard-count-agnostic format of cert/index_shard.hpp, so donor and
+  /// joiner may run different cert_config::shards) and the committed
+  /// sequence. Called by the donor between deliveries.
   util::shared_bytes snapshot() const;
 
   /// Installs a transferred snapshot on a freshly rebuilt replica; the
@@ -79,7 +84,7 @@ class replica {
 
   db::server& server() { return server_; }
   const db::server& server() const { return server_; }
-  const cert::certifier& certifier() const { return cert_; }
+  const cert::sharded_certifier& certifier() const { return cert_; }
 
   /// Sequence of committed update transactions (identical at all
   /// operational sites — the off-line safety check input, §5.3).
@@ -109,7 +114,7 @@ class replica {
   gcs::group& group_;
   config cfg_;
   db::server server_;
-  cert::certifier cert_;
+  cert::sharded_certifier cert_;
   util::rng rng_;
 
   std::uint64_t next_local_txn_ = 0;

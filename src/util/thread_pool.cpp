@@ -1,0 +1,69 @@
+#include "util/thread_pool.hpp"
+
+namespace dbsm::util {
+
+thread_pool::thread_pool(unsigned width) {
+  if (width <= 1) return;
+  workers_.reserve(width - 1);
+  for (unsigned i = 0; i + 1 < width; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void thread_pool::run(unsigned tasks,
+                      const std::function<void(unsigned)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty()) {
+    for (unsigned t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &fn;
+    tasks_ = tasks;
+    next_ = 0;
+    remaining_ = tasks;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  // The caller claims tasks alongside the workers, then waits for the
+  // stragglers it did not run itself.
+  std::unique_lock<std::mutex> lk(mu_);
+  while (next_ < tasks_) {
+    const unsigned t = next_++;
+    lk.unlock();
+    fn(t);
+    lk.lock();
+    --remaining_;
+  }
+  idle_.wait(lk, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void thread_pool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    wake_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    while (next_ < tasks_) {
+      const unsigned t = next_++;
+      const auto* job = job_;
+      lk.unlock();
+      (*job)(t);
+      lk.lock();
+      if (--remaining_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace dbsm::util

@@ -1,0 +1,61 @@
+// Persistent fork-join worker pool.
+//
+// `run(tasks, fn)` executes fn(0) ... fn(tasks-1) across the pool and
+// returns once every call has finished. The calling thread participates,
+// so a pool of width W keeps W-1 background workers; workers persist
+// across run() calls (no thread spawn on the certification hot path).
+//
+// Task indices are claimed under a mutex, so *which* thread runs a given
+// task is scheduling-dependent — callers that need deterministic results
+// must make tasks write disjoint state keyed by the task index (the
+// sharded certifier gives every task its own shard range and verdict
+// slot), after which the outcome is independent of scheduling.
+#ifndef DBSM_UTIL_THREAD_POOL_HPP
+#define DBSM_UTIL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbsm::util {
+
+class thread_pool {
+ public:
+  /// `width` counts the calling thread: width <= 1 spawns nothing and
+  /// run() executes inline.
+  explicit thread_pool(unsigned width);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  /// Total fork width (background workers + the calling thread).
+  unsigned width() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(t) for every t in [0, tasks); returns when all calls have
+  /// completed. Not reentrant: one run() at a time per pool.
+  void run(unsigned tasks, const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;  // workers: a new job (or stop) arrived
+  std::condition_variable idle_;  // caller: the current job completed
+  const std::function<void(unsigned)>* job_ = nullptr;
+  unsigned tasks_ = 0;
+  unsigned next_ = 0;       // next unclaimed task index
+  unsigned remaining_ = 0;  // claimed or unclaimed tasks not yet finished
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dbsm::util
+
+#endif  // DBSM_UTIL_THREAD_POOL_HPP

@@ -1,0 +1,301 @@
+// Shard-count invariance of the sharded certifier: at every
+// (shards, certify_threads) combination the decisions must match
+// cert::certifier transaction-for-transaction — the same differential
+// discipline PR 1 used for index-vs-scan, extended over the partitioned
+// parallel path. Covers randomized mixes, TPC-C-shaped sets, KV
+// scan-escalation sets, the read-only path, window expiry, and the
+// canonical snapshot format (byte-identical at 1 shard / 1 thread).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "cert/certifier.hpp"
+#include "cert/sharded_certifier.hpp"
+#include "db/item.hpp"
+#include "tpcc/workload.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/kv.hpp"
+
+namespace dbsm::cert {
+namespace {
+
+using db::item_id;
+
+constexpr item_id tup(std::uint64_t n) { return n << 1; }
+constexpr item_id gran(std::uint64_t n) { return (n << 1) | 1; }
+
+struct grid_point {
+  std::size_t shards;
+  unsigned threads;
+};
+
+const std::vector<grid_point>& grid() {
+  static const std::vector<grid_point> g = {
+      {1, 1}, {1, 4}, {2, 1}, {2, 4}, {8, 1}, {8, 4}};
+  return g;
+}
+
+cert_config with_sharding(cert_config cfg, const grid_point& p) {
+  cfg.shards = p.shards;
+  cfg.certify_threads = p.threads;
+  return cfg;
+}
+
+/// Drives the oracle and one sharded instance through the same randomized
+/// transaction stream and asserts decision-for-decision agreement.
+void run_differential(const grid_point& p, std::uint64_t seed, int steps,
+                      std::uint64_t id_space, double granule_read_p,
+                      double granule_write_p, std::uint64_t max_age,
+                      std::size_t window) {
+  cert_config cfg;
+  cfg.history_window = window;
+  certifier oracle(cfg);
+  sharded_certifier sharded(with_sharding(cfg, p));
+  util::rng g(seed);
+
+  for (int i = 0; i < steps; ++i) {
+    const std::uint64_t pos = oracle.position();
+    const std::uint64_t lo = pos > max_age ? pos - max_age : 0;
+    const auto begin = static_cast<std::uint64_t>(
+        g.uniform_int(static_cast<std::int64_t>(lo),
+                      static_cast<std::int64_t>(pos)));
+
+    std::vector<item_id> rs;
+    const int nr = static_cast<int>(g.uniform_int(0, 6));
+    for (int k = 0; k < nr; ++k) {
+      const auto n = static_cast<std::uint64_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(id_space)));
+      rs.push_back(g.bernoulli(granule_read_p) ? gran(n >> 4) : tup(n));
+    }
+    normalize(rs);
+
+    if (g.bernoulli(0.25)) {
+      ASSERT_EQ(sharded.certify_read_only(begin, rs),
+                oracle.certify_read_only(begin, rs))
+          << "read-only: shards " << p.shards << " threads " << p.threads
+          << " seed " << seed << " step " << i;
+      continue;
+    }
+
+    std::vector<item_id> ws;
+    const int nw = static_cast<int>(g.uniform_int(1, 5));
+    for (int k = 0; k < nw; ++k) {
+      const auto n = static_cast<std::uint64_t>(
+          g.uniform_int(0, static_cast<std::int64_t>(id_space)));
+      ws.push_back(tup(n));
+      if (g.bernoulli(granule_write_p)) ws.push_back(gran(n >> 4));
+    }
+    normalize(ws);
+
+    ASSERT_EQ(sharded.certify_update(begin, rs, ws),
+              oracle.certify_update(begin, rs, ws))
+        << "update: shards " << p.shards << " threads " << p.threads
+        << " seed " << seed << " step " << i << " begin " << begin;
+
+    ASSERT_EQ(sharded.position(), oracle.position());
+    ASSERT_EQ(sharded.commits(), oracle.commits());
+    ASSERT_EQ(sharded.aborts(), oracle.aborts());
+    ASSERT_EQ(sharded.history_size(), oracle.history_size());
+    ASSERT_EQ(sharded.oldest_retained(), oracle.oldest_retained());
+    // Per-shard rings drain their own fronts, so the sharded instance can
+    // only be *ahead* on stale-entry cleanup, never behind on content the
+    // decisions see.
+    ASSERT_LE(sharded.index_size(), oracle.index_size());
+    if (p.shards == 1) {
+      ASSERT_EQ(sharded.index_size(), oracle.index_size());
+    }
+  }
+  EXPECT_GT(oracle.commits(), 100u);
+  EXPECT_GT(oracle.aborts(), 0u);
+}
+
+TEST(cert_shard_differential, high_conflict_small_id_space) {
+  for (const grid_point& p : grid())
+    run_differential(p, /*seed=*/311, /*steps=*/2500, /*id_space=*/300,
+                     /*granule_read_p=*/0.2, /*granule_write_p=*/0.4,
+                     /*max_age=*/60, /*window=*/50000);
+}
+
+TEST(cert_shard_differential, window_expiry_and_conservative_aborts) {
+  // Tiny window + old snapshots: the global pre-window rule must fire
+  // before any shard probe, identically at every fork width.
+  for (const grid_point& p : grid())
+    run_differential(p, /*seed=*/323, /*steps=*/2500, /*id_space=*/5000,
+                     /*granule_read_p=*/0.1, /*granule_write_p=*/0.3,
+                     /*max_age=*/200, /*window=*/64);
+}
+
+TEST(cert_shard_differential, tpcc_shaped_workload_agrees) {
+  // Realistic TPC-C sets: escalated customer scans, advertised write
+  // granules, snapshots lagging a few dozen deliveries.
+  for (const grid_point& p : grid()) {
+    cert_config cfg;
+    cfg.history_window = 512;
+    certifier oracle(cfg);
+    sharded_certifier sharded(with_sharding(cfg, p));
+    tpcc::workload load(tpcc::workload_profile::pentium3_1ghz(), 10,
+                        util::rng(71));
+    util::rng g(72);
+
+    for (int i = 0; i < 3000; ++i) {
+      const auto req = load.next(static_cast<std::uint32_t>(i % 10),
+                                 static_cast<std::uint32_t>(i % 10));
+      const std::uint64_t pos = oracle.position();
+      const std::uint64_t lo = pos > 700 ? pos - 700 : 0;
+      const auto begin = static_cast<std::uint64_t>(
+          g.uniform_int(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(pos)));
+      if (req.read_only()) {
+        ASSERT_EQ(sharded.certify_read_only(begin, req.read_set),
+                  oracle.certify_read_only(begin, req.read_set))
+            << "shards " << p.shards << " threads " << p.threads
+            << " step " << i;
+      } else {
+        ASSERT_EQ(
+            sharded.certify_update(begin, req.read_set, req.write_set),
+            oracle.certify_update(begin, req.read_set, req.write_set))
+            << "shards " << p.shards << " threads " << p.threads
+            << " step " << i;
+      }
+    }
+    EXPECT_EQ(sharded.commits(), oracle.commits());
+    EXPECT_GT(oracle.commits(), 500u);
+  }
+}
+
+TEST(cert_shard_differential, kv_scan_escalation_agrees) {
+  // KV sets are the pure certification-conflict channel: escalated
+  // range-scan reads (granule ids) race hot-granule writes. Hash
+  // partitioning must keep every granule probe on the shard that also
+  // receives the matching advertised write granules.
+  for (const grid_point& p : grid()) {
+    cert_config cfg;
+    cfg.history_window = 256;
+    certifier oracle(cfg);
+    sharded_certifier sharded(with_sharding(cfg, p));
+
+    kv::kv_config k;
+    k.keys = 4000;
+    k.keys_per_granule = 64;
+    k.zipf_theta = 0.9;  // hot keys: real conflicts at a small window
+    k.mix_read = 0.2;
+    k.mix_update = 0.35;
+    k.mix_scan = 0.3;
+    kv::kv_workload wl(k);
+    wl.prepare(1, 8, util::rng(81));
+    auto src = wl.make_source({0, 0, 8}, util::rng(82));
+    util::rng g(83);
+
+    std::uint64_t scans = 0;
+    for (int i = 0; i < 2500; ++i) {
+      const auto req = src->next(0);
+      for (const item_id id : req.read_set)
+        if (db::is_granule(id)) ++scans;
+      const std::uint64_t pos = oracle.position();
+      const std::uint64_t lo = pos > 120 ? pos - 120 : 0;
+      const auto begin = static_cast<std::uint64_t>(
+          g.uniform_int(static_cast<std::int64_t>(lo),
+                        static_cast<std::int64_t>(pos)));
+      if (req.read_only()) {
+        ASSERT_EQ(sharded.certify_read_only(begin, req.read_set),
+                  oracle.certify_read_only(begin, req.read_set))
+            << "shards " << p.shards << " threads " << p.threads
+            << " step " << i;
+      } else {
+        ASSERT_EQ(
+            sharded.certify_update(begin, req.read_set, req.write_set),
+            oracle.certify_update(begin, req.read_set, req.write_set))
+            << "shards " << p.shards << " threads " << p.threads
+            << " step " << i;
+      }
+    }
+    EXPECT_EQ(sharded.commits(), oracle.commits());
+    EXPECT_EQ(sharded.aborts(), oracle.aborts());
+    EXPECT_GT(scans, 100u);     // the mix actually escalated
+    EXPECT_GT(oracle.aborts(), 0u);
+  }
+}
+
+TEST(cert_shard_differential, default_config_snapshot_bytes_identical) {
+  // shards = 1 / certify_threads = 1 is not merely decision-equal to
+  // cert::certifier — the serialized state must be byte-identical, since
+  // replicas snapshot through the sharded path now.
+  cert_config cfg;
+  cfg.history_window = 48;
+  certifier oracle(cfg);
+  sharded_certifier sharded(cfg);
+  util::rng g(99);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<item_id> rs, ws;
+    const auto n =
+        static_cast<std::uint64_t>(g.uniform_int(0, 400));
+    rs.push_back(g.bernoulli(0.3) ? gran(n >> 3) : tup(n));
+    ws.push_back(tup(n + 1));
+    if (g.bernoulli(0.5)) ws.push_back(gran((n + 1) >> 3));
+    normalize(rs);
+    normalize(ws);
+    const std::uint64_t pos = oracle.position();
+    const std::uint64_t begin =
+        pos - std::min<std::uint64_t>(
+                  pos, static_cast<std::uint64_t>(g.uniform_int(0, 60)));
+    ASSERT_EQ(sharded.certify_update(begin, rs, ws),
+              oracle.certify_update(begin, rs, ws));
+  }
+  util::buffer_writer wo, ws_;
+  oracle.snapshot(wo);
+  sharded.snapshot(ws_);
+  const auto a = wo.take();
+  const auto b = ws_.take();
+  ASSERT_EQ(*a, *b);
+}
+
+TEST(cert_shard_differential, modeled_cost_parallel_term_scales) {
+  // The parallel term: with enough shards and threads, the critical path
+  // charges roughly elements / workers, plus the fork overhead — and one
+  // worker charges exactly the certifier's set-linear model.
+  cert_config cfg;
+  std::vector<item_id> ws;
+  for (std::uint64_t i = 0; i < 512; ++i) ws.push_back(tup(i * 7 + 1));
+  normalize(ws);
+
+  certifier oracle(cfg);
+  oracle.certify_update(0, {}, ws);
+
+  sharded_certifier serial(cfg);
+  serial.certify_update(0, {}, ws);
+  EXPECT_EQ(serial.last_cost(), oracle.last_cost());
+
+  cert_config par = cfg;
+  par.shards = 16;
+  par.certify_threads = 4;
+  sharded_certifier forked(par);
+  forked.certify_update(0, {}, ws);
+  EXPECT_LT(forked.last_cost(), oracle.last_cost());
+  // Critical path >= perfect split, and the fork overhead is charged.
+  EXPECT_GE(forked.last_cost(),
+            cfg.cost_fixed + par.cost_fork_join +
+                cfg.cost_per_element *
+                    static_cast<sim_duration>(ws.size() / 4));
+}
+
+TEST(thread_pool, runs_every_task_exactly_once_across_runs) {
+  util::thread_pool pool(4);
+  EXPECT_EQ(pool.width(), 4u);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> hits(97, 0);
+    pool.run(97, [&](unsigned t) { ++hits[t]; });
+    for (int h : hits) ASSERT_EQ(h, 1);
+  }
+  // Width 1 degenerates to an inline loop (no workers to leak).
+  util::thread_pool inline_pool(1);
+  EXPECT_EQ(inline_pool.width(), 1u);
+  int n = 0;
+  inline_pool.run(5, [&](unsigned) { ++n; });
+  EXPECT_EQ(n, 5);
+}
+
+}  // namespace
+}  // namespace dbsm::cert

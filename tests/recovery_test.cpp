@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "cert/certifier.hpp"
+#include "cert/sharded_certifier.hpp"
 #include "core/experiment.hpp"
 #include "fault/fault_types.hpp"
 #include "fault/scenarios.hpp"
@@ -301,6 +302,80 @@ TEST(recovery, certifier_snapshot_restore_reproduces_decisions) {
     ASSERT_EQ(decisions[0], decisions[1]) << "diverged at step " << i;
   }
   EXPECT_EQ(donor.commits(), joiner.commits());
+  EXPECT_EQ(donor.aborts(), joiner.aborts());
+}
+
+// A recovery state transfer must be valid between ends that disagree on
+// cert_config::shards (and between the sharded and single-index
+// certifiers): the snapshot carries canonical full-set entries that each
+// end re-partitions locally (cert/index_shard.hpp).
+TEST(recovery, sharded_snapshot_is_shard_count_agnostic) {
+  cert::cert_config donor_cfg;
+  donor_cfg.history_window = 64;  // exercise per-shard eviction rings
+  donor_cfg.shards = 4;
+  donor_cfg.certify_threads = 2;
+  cert::sharded_certifier donor(donor_cfg);
+  util::rng gen(432);
+
+  auto random_step = [](auto& c, util::rng& g,
+                        auto make_set) -> bool {
+    const std::uint64_t pos = c.position();
+    const std::uint64_t begin =
+        pos == 0 ? 0
+                 : pos - static_cast<std::uint64_t>(
+                             g.uniform_int(0, std::min<std::uint64_t>(
+                                                  pos, 80)));
+    return c.certify_update(begin, make_set(g, 4), make_set(g, 6));
+  };
+  // Warm the donor past the window so every shard ring is non-empty.
+  for (int i = 0; i < 500; ++i) random_step(donor, gen, random_set);
+
+  util::buffer_writer w;
+  donor.snapshot(w);
+  const auto blob = w.take();
+
+  // Restore at a different shard count, and into the single-index
+  // certifier, from the same bytes.
+  cert::cert_config joiner_cfg = donor_cfg;
+  joiner_cfg.shards = 2;
+  joiner_cfg.certify_threads = 1;
+  cert::sharded_certifier joiner(joiner_cfg);
+  {
+    util::buffer_reader r(blob);
+    joiner.restore(r);
+  }
+  cert::certifier single(
+      [&] {
+        cert::cert_config c = donor_cfg;
+        c.shards = 1;
+        c.certify_threads = 1;
+        return c;
+      }());
+  {
+    util::buffer_reader r(blob);
+    single.restore(r);
+  }
+
+  EXPECT_EQ(joiner.position(), donor.position());
+  EXPECT_EQ(joiner.oldest_retained(), donor.oldest_retained());
+  EXPECT_EQ(joiner.history_size(), donor.history_size());
+  // Index *contents* (id -> last writer) are partition-invariant, so the
+  // summed sizes agree across shard counts.
+  EXPECT_EQ(joiner.index_size(), donor.index_size());
+  EXPECT_EQ(single.index_size(), donor.index_size());
+
+  // All three continue decision-for-decision from the transferred state
+  // through another randomized stretch.
+  util::rng g0(765), g1 = g0, g2 = g0;
+  for (int i = 0; i < 400; ++i) {
+    const bool a = random_step(donor, g0, random_set);
+    const bool b = random_step(joiner, g1, random_set);
+    const bool c = random_step(single, g2, random_set);
+    ASSERT_EQ(a, b) << "joiner diverged at step " << i;
+    ASSERT_EQ(a, c) << "single-index diverged at step " << i;
+  }
+  EXPECT_EQ(donor.commits(), joiner.commits());
+  EXPECT_EQ(donor.commits(), single.commits());
   EXPECT_EQ(donor.aborts(), joiner.aborts());
 }
 
