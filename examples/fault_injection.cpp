@@ -72,7 +72,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "[fault_injection] %s ...\n", e->name);
     const auto r = core::run_experiment(cfg);
 
-    bool ok = r.safety.ok;
+    bool ok = r.safety.ok && r.checks.ok;
+    if (!r.checks.ok)
+      std::fprintf(stderr, "[fault_injection] %s: online monitor: %s\n",
+                   e->name, r.checks.summary().c_str());
     if (e->needs_recovery) {
       // A rejoin scenario must end with every recovered site back in the
       // view and converged: its log within one in-flight window of the
@@ -95,7 +98,8 @@ int main(int argc, char** argv) {
            util::fmt(static_cast<std::int64_t>(r.retransmissions)),
            util::fmt(static_cast<std::int64_t>(r.view_changes)),
            util::fmt(static_cast<std::int64_t>(r.rejoined_sites())),
-           !r.safety.ok ? "VIOLATED" : (ok ? "ok" : "NO REJOIN")});
+           !r.safety.ok || !r.checks.ok ? "VIOLATED"
+                                        : (ok ? "ok" : "NO REJOIN")});
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("\n%s\n", all_safe

@@ -1,0 +1,159 @@
+// The standard invariant monitors (see check/check.hpp for the contract).
+#ifndef DBSM_CHECK_MONITORS_HPP
+#define DBSM_CHECK_MONITORS_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cert/reference_certifier.hpp"
+#include "check/check.hpp"
+
+namespace dbsm::check {
+
+/// (1) Agreed prefix: the committed sequence is a single global order and
+/// every site's commit log is a prefix of it. The first site to commit at
+/// log position i defines the agreed transaction for i; every later commit
+/// at i (any site) must carry the same transaction id, and commits must
+/// extend a site's log by exactly one (no gaps). Recovery state transfers
+/// (log resets) are checked element-wise against the agreed order too.
+///
+/// Delivery is non-uniform, so a site the latest view excluded may hold
+/// commits past that view's cut which the surviving majority never saw
+/// (e.g. a partitioned-off sequencer self-delivering). Those positions are
+/// not agreed: when the excluding view installs, entries past its cut
+/// committed only by now-excluded sites are rolled back (the survivors
+/// redefine them), and further commits by an excluded site past the cut
+/// are left to the primary_partition fence and to the rejoin state
+/// transfer, which replaces the orphan branch and is checked here.
+class agreed_prefix_monitor final : public monitor {
+ public:
+  std::string_view name() const override { return "agreed_prefix"; }
+  void on_decision(const decision_event& e, sink& s) override;
+  void on_view(const view_event& e, sink& s) override;
+  void on_log_reset(const log_reset_event& e, sink& s) override;
+
+ private:
+  bool is_member(unsigned site) const;
+  std::uint64_t member_mask() const;
+  struct entry {
+    std::uint64_t txn_id = 0;
+    std::uint64_t committers = 0;  // bitmask of sites that committed it
+  };
+  std::vector<entry> agreed_;    // agreed_[i] = txn at commit-log pos i
+  std::vector<node_id> members_; // latest primary view (empty: all sites)
+  std::uint32_t top_id_ = 1;     // highest view id installed anywhere
+  std::uint64_t commit_cut_ = 0; // commit-log length at that view's cut
+  std::map<unsigned, std::uint64_t> log_len_;  // site -> last log length
+};
+
+/// (2) View synchrony: all sites that install view v agree on v's
+/// membership and install it at the same delivery cut (the stack delivers
+/// the agreed backlog before installing, so the delivered count at install
+/// is the cut). Per site, installed view ids are strictly increasing.
+class view_synchrony_monitor final : public monitor {
+ public:
+  explicit view_synchrony_monitor(unsigned sites) : sites_(sites) {}
+  std::string_view name() const override { return "view_synchrony"; }
+  void on_view(const view_event& e, sink& s) override;
+
+ private:
+  struct install {
+    std::vector<node_id> members;
+    std::uint64_t delivered = 0;
+    unsigned first_site = 0;
+  };
+  unsigned sites_;
+  std::map<std::uint32_t, install> views_;   // view id -> first install seen
+  std::map<unsigned, std::uint32_t> last_;   // site -> last installed id
+};
+
+/// (3) Primary partition: at most one partition makes progress. Two
+/// checks: (a) the view chain rule — a new view must retain a strict
+/// majority of the members of the installing site's previous view, so a
+/// minority partition can never legitimately install a view of its own;
+/// (b) the exclusion fence — once a site discovers that a view excluded
+/// it, it must not commit anything further (before the discovery it may
+/// legitimately still be riding the group's in-flight stream on a slow
+/// link: in an asynchronous system a node cannot act on an install it has
+/// not yet received).
+class primary_partition_monitor final : public monitor {
+ public:
+  explicit primary_partition_monitor(unsigned sites);
+  std::string_view name() const override { return "primary_partition"; }
+  void on_view(const view_event& e, sink& s) override;
+  void on_excluded(const excluded_event& e, sink& s) override;
+  void on_decision(const decision_event& e, sink& s) override;
+
+ private:
+  struct site_view {
+    std::uint32_t id = 1;
+    std::vector<node_id> members;
+  };
+  std::vector<site_view> cur_;  // per-site currently installed view
+  std::uint32_t top_id_ = 1;    // highest-id view installed anywhere
+  std::map<unsigned, sim_time> excluded_;  // site -> discovery time
+};
+
+/// (4) 1SR certification oracle: every site's commit/abort decision is
+/// cross-checked against cert::reference_certifier (the paper's merge-scan
+/// procedure). The first site to deliver total-order position n feeds the
+/// oracle; all sites' decisions at n — including recovery replays — must
+/// match the oracle's verdict and transaction identity.
+///
+/// Mirrors the agreed-prefix branch rule: positions past an excluding
+/// view's cut decided only by the excluded sites are rolled back when the
+/// view installs (the oracle is rebuilt by replaying the kept prefix, so
+/// the discarded branch's write sets stop polluting its history), and an
+/// excluded site's further decisions past the cut are ignored here.
+class cert_oracle_monitor final : public monitor {
+ public:
+  explicit cert_oracle_monitor(const cert::cert_config& cfg)
+      : cfg_(cfg), ref_(std::in_place, cfg) {}
+  std::string_view name() const override { return "cert_oracle"; }
+  void on_decision(const decision_event& e, sink& s) override;
+  void on_view(const view_event& e, sink& s) override;
+
+ private:
+  bool is_member(unsigned site) const;
+  std::uint64_t member_mask() const;
+  struct verdict {
+    cert::txn_payload txn;  // copy: replayed when the branch rolls back
+    bool commit = false;
+    std::uint64_t deciders = 0;  // bitmask of sites seen deciding it
+  };
+  cert::cert_config cfg_;
+  std::optional<cert::reference_certifier> ref_;
+  std::vector<verdict> verdicts_;  // verdicts_[n - 1] = oracle at position n
+  std::vector<node_id> members_;   // latest primary view (empty: all sites)
+  std::uint32_t top_id_ = 1;
+  std::uint64_t cut_ = 0;  // delivered count at that view's cut
+};
+
+/// (5) Recovery convergence: a recovery, once started, produces a rejoin
+/// within the configured deadline, and at the instant the rejoined site is
+/// live its commit log trails the longest log observed anywhere by at most
+/// rejoin_max_lag transactions (the donor's exact state up to a bounded
+/// in-flight window; exactness of the content is monitor 1's job).
+class recovery_convergence_monitor final : public monitor {
+ public:
+  explicit recovery_convergence_monitor(const config& cfg)
+      : max_lag_(cfg.rejoin_max_lag), deadline_(cfg.rejoin_deadline) {}
+  std::string_view name() const override { return "recovery_convergence"; }
+  void on_decision(const decision_event& e, sink& s) override;
+  void on_log_reset(const log_reset_event& e, sink& s) override;
+  void on_recovery_start(const recovery_start_event& e, sink& s) override;
+  void on_rejoin(const rejoin_event& e, sink& s) override;
+  void on_run_end(sim_time now, sink& s) override;
+
+ private:
+  std::uint64_t max_lag_;
+  sim_duration deadline_;
+  std::uint64_t max_log_ = 0;           // longest commit log seen anywhere
+  std::map<unsigned, sim_time> pending_;  // site -> recovery start time
+};
+
+}  // namespace dbsm::check
+
+#endif  // DBSM_CHECK_MONITORS_HPP

@@ -87,12 +87,53 @@ void cluster::build_site_stack(unsigned i, bool joining,
          }});
     groups_[i]->set_joined_handler([this, i](const gcs::view&) {
       status_[i] = site_status::rejoined;
+      if (obs_.on_rejoined)
+        obs_.on_rejoined(i, replicas_[i]->commit_log().size());
       if (on_rejoined_[i]) on_rejoined_[i](i);
     });
   }
+  // Always wired (not part of the optional observer seam): discovering an
+  // exclusion halts the site's delivery, so from here until a recovery
+  // brings it back the site counts as down — its commit log may carry a
+  // non-uniform orphan suffix the surviving majority discarded, which the
+  // end-of-run safety check must not read as a live site's divergence.
+  groups_[i]->set_excluded_handler([this, i] {
+    if (status_[i] == site_status::operational ||
+        status_[i] == site_status::rejoined) {
+      status_[i] = site_status::excluded;
+    }
+    if (obs_.on_excluded) obs_.on_excluded(i);
+  });
+  wire_observer(i);
   if (joining) {
     replicas_[i]->start();
     groups_[i]->start_joining();
+  }
+}
+
+void cluster::set_observer(observer obs) {
+  obs_ = std::move(obs);
+  for (unsigned i = 0; i < cfg_.sites; ++i) wire_observer(i);
+}
+
+void cluster::wire_observer(unsigned i) {
+  if (obs_.on_decision) {
+    replicas_[i]->set_decision_observer(
+        [this, i](const cert::txn_payload& txn, std::uint64_t seq,
+                  bool commit, std::uint64_t len) {
+          obs_.on_decision(i, txn, seq, commit, len);
+        });
+  }
+  if (obs_.on_log_reset) {
+    replicas_[i]->set_log_reset_observer(
+        [this, i](const std::vector<std::uint64_t>& log) {
+          obs_.on_log_reset(i, log);
+        });
+  }
+  if (obs_.on_view) {
+    groups_[i]->set_view_handler([this, i](const gcs::view& v) {
+      obs_.on_view(i, v, groups_[i]->delivered_count());
+    });
   }
 }
 
@@ -118,6 +159,7 @@ void cluster::recover_site(unsigned i,
   const std::uint64_t epoch = ++recover_epoch_[i];
   status_[i] = site_status::recovering;
   on_rejoined_[i] = std::move(on_rejoined);
+  if (obs_.on_recovery_start) obs_.on_recovery_start(i);
   DBSM_LOG(info, "core.cluster", "site " << i << " begins recovery");
 
   // Phase 1 — quiesce: detach the datagram handler, kill every armed

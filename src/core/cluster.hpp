@@ -60,6 +60,7 @@ class cluster {
   void crash_site(unsigned i);
   bool crashed(unsigned i) const {
     return status_.at(i) == site_status::crashed ||
+           status_.at(i) == site_status::excluded ||
            status_.at(i) == site_status::recovering;
   }
 
@@ -67,7 +68,8 @@ class cluster {
   /// report it per site, distinguishing "aborted" from "site was gone").
   enum class site_status : std::uint8_t {
     operational,  // never left (or only transiently partitioned)
-    crashed,      // crash-stopped (or excluded and not yet recovering)
+    crashed,      // crash-stopped
+    excluded,     // alive but voted out of the view: delivery has halted
     recovering,   // restart under way: quiesce, state transfer, rejoin
     rejoined,     // back in the view after a completed state transfer
   };
@@ -85,9 +87,39 @@ class cluster {
 
   std::vector<unsigned> operational_sites() const;
 
+  /// Observation seam for the check layer: passive callbacks fired
+  /// synchronously from inside the protocol jobs. The cluster rewires
+  /// every callback into a site's stack when recovery rebuilds it, so
+  /// observers outlive replica/group incarnations. Callbacks must not
+  /// schedule simulator work or mutate the observed objects.
+  struct observer {
+    /// Certification decision applied at `site` (see
+    /// replica::set_decision_observer).
+    std::function<void(unsigned site, const cert::txn_payload& txn,
+                       std::uint64_t global_seq, bool commit,
+                       std::uint64_t log_len)>
+        on_decision;
+    /// View installed at `site`; `delivered` is the site's delivery count
+    /// at the instant of the install (the view-synchrony cut).
+    std::function<void(unsigned site, const gcs::view& v,
+                       std::uint64_t delivered)>
+        on_view;
+    /// `site` discovered that a view install excluded it (delivery halts
+    /// there until it rejoins through recovery).
+    std::function<void(unsigned site)> on_excluded;
+    /// Recovery state transfer replaced `site`'s commit log.
+    std::function<void(unsigned site, const std::vector<std::uint64_t>& log)>
+        on_log_reset;
+    std::function<void(unsigned site)> on_recovery_start;
+    /// `site` is live again in the merged view with `log_len` committed.
+    std::function<void(unsigned site, std::uint64_t log_len)> on_rejoined;
+  };
+  void set_observer(observer obs);
+
  private:
   void build_site_stack(unsigned i, bool joining,
                         std::uint64_t first_local_txn, unsigned restart_no);
+  void wire_observer(unsigned i);
   void finish_recover(unsigned i, std::uint64_t epoch);
 
   config cfg_;
@@ -104,6 +136,7 @@ class cluster {
   std::vector<std::uint64_t> recover_epoch_;
   std::vector<unsigned> restarts_;
   std::vector<std::function<void(unsigned)>> on_rejoined_;
+  observer obs_;
 };
 
 }  // namespace dbsm::core

@@ -114,6 +114,42 @@ experiment_result run_experiment(const experiment_config& cfg) {
   }
   cfg.faults.install(c.sim(), std::move(pts));
 
+  // Online invariant monitors: a passive observer of the protocol event
+  // stream (no simulator work, no randomness — the run is bit-identical
+  // with monitors on or off). A violation stops the simulation so the run
+  // ends at the offending event.
+  std::unique_ptr<check::checker> checker;
+  if (cfg.checks.enabled) {
+    checker = check::checker::standard(cfg.checks, total_sites,
+                                       ccfg.replica_cfg.cert);
+    checker->set_halt([&c] { c.sim().stop(); });
+    cluster::observer obs;
+    check::checker* ck = checker.get();
+    obs.on_decision = [ck, &c](unsigned site, const cert::txn_payload& txn,
+                               std::uint64_t seq, bool commit,
+                               std::uint64_t len) {
+      ck->decision({site, seq, &txn, commit, len, c.sim().now()});
+    };
+    obs.on_view = [ck, &c](unsigned site, const gcs::view& v,
+                           std::uint64_t delivered) {
+      ck->view_installed({site, v, delivered, c.sim().now()});
+    };
+    obs.on_excluded = [ck, &c](unsigned site) {
+      ck->excluded({site, c.sim().now()});
+    };
+    obs.on_log_reset = [ck, &c](unsigned site,
+                                const std::vector<std::uint64_t>& log) {
+      ck->log_reset({site, &log, c.sim().now()});
+    };
+    obs.on_recovery_start = [ck, &c](unsigned site) {
+      ck->recovery_started({site, c.sim().now()});
+    };
+    obs.on_rejoined = [ck, &c](unsigned site, std::uint64_t len) {
+      ck->rejoined({site, len, c.sim().now()});
+    };
+    c.set_observer(std::move(obs));
+  }
+
   c.start();
   // Stagger starts uniformly across one mean think time: steady state
   // without a thundering herd.
@@ -144,6 +180,7 @@ experiment_result run_experiment(const experiment_config& cfg) {
     result.view_changes = std::max(result.view_changes,
                                    c.group(i).view_changes());
   }
+  std::vector<site_log_input> all_site_logs;
   for (unsigned i = 0; i < total_sites; ++i) {
     site_report sr;
     sr.state = c.status(i);
@@ -151,6 +188,16 @@ experiment_result run_experiment(const experiment_config& cfg) {
     sr.client_commits = by_site[i].commits;
     sr.client_responses = by_site[i].responses;
     result.sites.push_back(sr);
+
+    site_log_input in;
+    in.log = c.site(i).commit_log();
+    in.state = sr.state == cluster::site_status::operational
+                   ? site_log_input::kind::operational
+               : sr.state == cluster::site_status::rejoined
+                   ? site_log_input::kind::rejoined
+                   : site_log_input::kind::crashed;
+    in.reported_committed = sr.committed_log;
+    all_site_logs.push_back(std::move(in));
   }
   const double n = static_cast<double>(operational.size());
   result.cpu_utilization /= n;
@@ -161,7 +208,11 @@ experiment_result run_experiment(const experiment_config& cfg) {
         static_cast<double>(c.network().total_wire_bytes()) / 1024.0 /
         to_seconds(result.duration);
   }
-  result.safety = check_commit_logs(result.commit_logs);
+  result.safety = check_commit_logs(all_site_logs, cfg.checks.rejoin_max_lag);
+  if (checker) {
+    checker->run_end(c.sim().now());
+    result.checks = checker->get_report();
+  }
   return result;
 }
 

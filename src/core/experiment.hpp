@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "core/cluster.hpp"
 #include "core/safety.hpp"
 #include "core/txn_stats.hpp"
@@ -73,6 +74,12 @@ struct experiment_config {
 
   /// §6 / [24]: apply each update at only this many sites (0 = all).
   unsigned replication_degree = 0;
+
+  /// Online invariant monitors (check/): on by default — they observe the
+  /// protocol passively, so results are bit-identical either way; a
+  /// violation stops the run at the offending event and lands in
+  /// experiment_result::checks.
+  check::config checks;
 };
 
 /// Per-site accounting (fault campaigns need to tell "clients aborted"
@@ -113,6 +120,9 @@ struct experiment_result {
   // site contributes its full pre-cut + post-rejoin sequence).
   std::vector<std::vector<std::uint64_t>> commit_logs;
   safety_report safety;
+
+  /// Online monitor outcome (empty/ok when checks were disabled).
+  check::report checks;
 
   // Per-site life cycle + counts, indexed by site (all sites, crashed
   // included).

@@ -42,6 +42,7 @@ void replica::install_snapshot(util::shared_bytes blob) {
   const std::uint64_t n = r.get_u64();
   commit_log_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) commit_log_.push_back(r.get_u64());
+  if (on_log_reset_) on_log_reset_(commit_log_);
 }
 
 void replica::start() {
@@ -131,6 +132,9 @@ void replica::on_deliver(node_id, std::uint64_t,
       cert_.certify_update(txn.begin_pos, txn.read_set, txn.write_set);
   env_.charge(cert_.last_cost());
   if (commit) commit_log_.push_back(txn.id);
+  if (on_decision_) {
+    on_decision_(txn, cert_.position(), commit, commit_log_.size());
+  }
 
   env_.call_out([this, txn = std::move(txn), commit] {
     if (halted_) return;

@@ -94,6 +94,25 @@ class replica {
   /// applied (Fig 7b).
   const util::sample_set& cert_latency_ms() const { return cert_latency_; }
 
+  /// Observation seam for the check layer: fired synchronously inside the
+  /// delivery job after each certification decision is applied to the
+  /// commit log, with (payload, update-order position, verdict, commit-log
+  /// length). Observers must be passive — no simulator work, no mutation.
+  using decision_observer =
+      std::function<void(const cert::txn_payload&, std::uint64_t global_seq,
+                         bool commit, std::uint64_t log_len)>;
+  void set_decision_observer(decision_observer fn) {
+    on_decision_ = std::move(fn);
+  }
+
+  /// Fired when install_snapshot replaces the commit log wholesale
+  /// (recovery state transfer), with the transferred log.
+  using log_reset_observer =
+      std::function<void(const std::vector<std::uint64_t>&)>;
+  void set_log_reset_observer(log_reset_observer fn) {
+    on_log_reset_ = std::move(fn);
+  }
+
   node_id id() const { return env_.self(); }
 
  private:
@@ -125,6 +144,8 @@ class replica {
   std::unordered_map<std::uint64_t, pending_txn> pending_;
   std::vector<std::uint64_t> commit_log_;
   util::sample_set cert_latency_;
+  decision_observer on_decision_;
+  log_reset_observer on_log_reset_;
   bool halted_ = false;
 };
 

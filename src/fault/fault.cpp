@@ -32,7 +32,7 @@ void fault::disarm(injection_points&) {}
 scenario& scenario::add(fault_ptr f, sim_time start, sim_time stop) {
   DBSM_CHECK(f != nullptr);
   DBSM_CHECK(start >= 0);
-  DBSM_CHECK_MSG(stop > start, "fault window [start, stop) is empty");
+  DBSM_CHECK_MSG(stop >= start, "fault window [start, stop) is inverted");
   events_.push_back({std::move(f), start, stop});
   return *this;
 }
@@ -42,6 +42,9 @@ void scenario::install(sim::simulator& sim, injection_points pts) const {
   // Scheduled arm/disarm events share the bundle (and keep it alive).
   auto shared = std::make_shared<injection_points>(std::move(pts));
   for (const timed_fault& tf : events_) {
+    // A zero-width window [t, t) is a no-op: the fault covers no instant,
+    // so it never arms (shrunk fuzzer timelines produce these).
+    if (tf.stop == tf.start) continue;
     if (tf.start <= sim.now()) {
       tf.f->arm(*shared);
     } else {

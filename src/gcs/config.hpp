@@ -41,7 +41,22 @@ struct group_config {
   // --- failure detection / view synchrony ---
   sim_duration heartbeat_period = milliseconds(20);
   sim_duration suspect_timeout = milliseconds(300);
+  /// Miss-count hysteresis: a member is only suspected after this many
+  /// consecutive heartbeat intervals with no traffic from it — a single
+  /// late arrival (one delayed datagram past suspect_timeout) is not
+  /// enough. The default adds no latency over the plain timeout (any
+  /// silence longer than suspect_timeout spans well over 3 heartbeat
+  /// ticks); raise it to tolerate transient link-delay windows longer
+  /// than suspect_timeout without flapping views.
+  unsigned suspect_misses = 3;
   sim_duration view_change_retry = milliseconds(500);
+
+  /// TESTING ONLY — disables the primary-partition majority rule in
+  /// membership, allowing a minority partition to install views and keep
+  /// committing (split brain). Exists so the check layer's online
+  /// monitors can be shown to catch the resulting violation; never set
+  /// in real configurations.
+  bool unsafe_no_primary_partition = false;
 
   // --- total order (fixed sequencer) ---
   /// Assignments accumulated before the sequencer flushes a SEQ message

@@ -3,35 +3,59 @@
 namespace dbsm::gcs {
 
 failure_detector::failure_detector(std::vector<node_id> members, node_id self,
-                                   sim_duration timeout, sim_time now)
-    : self_(self), timeout_(timeout) {
+                                   sim_duration timeout, sim_time now,
+                                   sim_duration heartbeat_period,
+                                   unsigned suspect_misses)
+    : self_(self), timeout_(timeout), heartbeat_period_(heartbeat_period),
+      suspect_misses_(suspect_misses) {
   reset(std::move(members), now);
 }
 
 void failure_detector::reset(std::vector<node_id> members, sim_time now) {
-  last_heard_.clear();
-  for (node_id m : members) last_heard_[m] = now;
+  members_.clear();
+  for (node_id m : members) members_[m] = member_state{now, 0};
 }
 
 void failure_detector::heard_from(node_id n, sim_time now) {
-  auto it = last_heard_.find(n);
-  if (it != last_heard_.end() && now > it->second) it->second = now;
+  auto it = members_.find(n);
+  if (it == members_.end()) return;
+  if (now > it->second.last_heard) it->second.last_heard = now;
+  it->second.misses = 0;
+}
+
+void failure_detector::tick(sim_time now) {
+  for (auto& [n, st] : members_) {
+    if (n == self_) continue;
+    if (now - st.last_heard > heartbeat_period_) {
+      ++st.misses;
+    } else {
+      st.misses = 0;
+    }
+  }
 }
 
 std::vector<node_id> failure_detector::suspects(sim_time now) const {
   std::vector<node_id> out;
-  for (const auto& [n, t] : last_heard_) {
+  for (const auto& [n, st] : members_) {
     if (n == self_) continue;
-    if (now - t > timeout_) out.push_back(n);
+    if (now - st.last_heard <= timeout_) continue;
+    if (suspect_misses_ != 0 && st.misses < suspect_misses_) continue;
+    out.push_back(n);
   }
   return out;
 }
 
 bool failure_detector::is_suspect(node_id n, sim_time now) const {
   if (n == self_) return false;
-  auto it = last_heard_.find(n);
-  if (it == last_heard_.end()) return false;
-  return now - it->second > timeout_;
+  auto it = members_.find(n);
+  if (it == members_.end()) return false;
+  if (now - it->second.last_heard <= timeout_) return false;
+  return suspect_misses_ == 0 || it->second.misses >= suspect_misses_;
+}
+
+unsigned failure_detector::misses(node_id n) const {
+  auto it = members_.find(n);
+  return it == members_.end() ? 0 : it->second.misses;
 }
 
 }  // namespace dbsm::gcs

@@ -1,4 +1,11 @@
 // Heartbeat failure detector driving view changes.
+//
+// Suspicion needs two things at once: silence longer than `timeout`, and
+// at least `suspect_misses` consecutive heartbeat intervals (ticked by the
+// owner at the heartbeat cadence) in which nothing was heard from the
+// member. The miss counter is hysteresis against delay faults: one
+// datagram arriving late — even later than the timeout — resets the count
+// and is not grounds for exclusion on its own; only sustained silence is.
 #ifndef DBSM_GCS_FAILURE_DETECTOR_HPP
 #define DBSM_GCS_FAILURE_DETECTOR_HPP
 
@@ -11,16 +18,30 @@ namespace dbsm::gcs {
 
 class failure_detector {
  public:
+  /// `suspect_misses == 0` disables the hysteresis (timeout-only — the
+  /// pre-hysteresis behavior, also what the defaults give callers that
+  /// never tick()).
   failure_detector(std::vector<node_id> members, node_id self,
-                   sim_duration timeout, sim_time now);
+                   sim_duration timeout, sim_time now,
+                   sim_duration heartbeat_period = milliseconds(20),
+                   unsigned suspect_misses = 0);
 
-  /// Any protocol traffic from a member counts as a liveness proof.
+  /// Any protocol traffic from a member counts as a liveness proof (and
+  /// clears its consecutive-miss count).
   void heard_from(node_id n, sim_time now);
 
-  /// Members not heard from within the timeout.
+  /// Called once per heartbeat interval: every member silent for more
+  /// than one interval scores a miss; anyone heard from recently resets.
+  void tick(sim_time now);
+
+  /// Members not heard from within the timeout (and, when hysteresis is
+  /// on, missing for at least `suspect_misses` consecutive ticks).
   std::vector<node_id> suspects(sim_time now) const;
 
   bool is_suspect(node_id n, sim_time now) const;
+
+  /// Current consecutive-miss count (test probe).
+  unsigned misses(node_id n) const;
 
   /// Re-seeds after a view change.
   void reset(std::vector<node_id> members, sim_time now);
@@ -28,7 +49,13 @@ class failure_detector {
  private:
   node_id self_;
   sim_duration timeout_;
-  std::unordered_map<node_id, sim_time> last_heard_;
+  sim_duration heartbeat_period_;
+  unsigned suspect_misses_;
+  struct member_state {
+    sim_time last_heard = 0;
+    unsigned misses = 0;
+  };
+  std::unordered_map<node_id, member_state> members_;
 };
 
 }  // namespace dbsm::gcs

@@ -18,11 +18,13 @@ group::group(csrt::env& env, group_config cfg)
   initial.id = 1;
   initial.members = cfg_.members;
 
-  fd_ = std::make_unique<failure_detector>(cfg_.members, env_.self(),
-                                           cfg_.suspect_timeout, env_.now());
+  fd_ = std::make_unique<failure_detector>(
+      cfg_.members, env_.self(), cfg_.suspect_timeout, env_.now(),
+      cfg_.heartbeat_period, cfg_.suspect_misses);
 
   membership::hooks h;
   h.stop_sends = [this] { rmcast_->stop_sending(); };
+  h.quiesce_order = [this] { order_->quiesce(); };
   h.get_prefixes = [this] { return rmcast_->prefixes(); };
   h.ensure_cut = [this](std::vector<std::uint64_t> cut,
                         std::vector<node_id> sources,
@@ -34,6 +36,10 @@ group::group(csrt::env& env, group_config cfg)
   h.install = [this](const view& v, const std::vector<node_id>& old_members,
                      const std::vector<std::uint64_t>& cut) {
     do_install(v, old_members, cut);
+  };
+  h.excluded = [this] {
+    order_->halt_delivery();
+    if (excluded_cb_) excluded_cb_();
   };
   h.send = [this](node_id to, util::shared_bytes raw) { send_ctl(to, raw); };
   h.mcast = [this](util::shared_bytes raw) { mcast_ctl(raw); };
@@ -226,6 +232,11 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
     }
     return;
   }
+  // A header from a view we never installed means we missed the install
+  // that voted us out (see membership::on_foreign_view) — e.g. it was
+  // multicast while a partition cut us off. Discovering it here halts
+  // delivery instead of letting the node ride (or extend) a dead branch.
+  membership_->on_foreign_view(hdr.view_id);
   fd_->heard_from(hdr.sender, env_.now());
   switch (hdr.type) {
     case msg_type::data: {
@@ -309,6 +320,7 @@ void group::heartbeat_tick() {
   if (cfg_.enable_recovery) hb.sent_high = rmcast_->sent_high();
   env_.multicast(encode(hb));
   // Failure detection shares the heartbeat cadence.
+  fd_->tick(env_.now());
   for (node_id s : fd_->suspects(env_.now())) membership_->suspect(s);
   hb_timer_ =
       env_.set_timer(cfg_.heartbeat_period, [this] { heartbeat_tick(); });

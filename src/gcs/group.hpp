@@ -52,6 +52,11 @@ class group {
   void set_state_transfer(state_transfer_hooks h) { xfer_ = std::move(h); }
   /// Fires on the joiner once it is live in the merged view.
   void set_joined_handler(view_fn fn) { joined_cb_ = std::move(fn); }
+  /// Fires once when this node discovers a view install that excludes it
+  /// (delivery halts at that instant; rejoin via recovery resumes it).
+  void set_excluded_handler(std::function<void()> fn) {
+    excluded_cb_ = std::move(fn);
+  }
 
   /// Boots the protocol stack (registers the datagram handler, arms the
   /// gossip/heartbeat timers, installs the initial view).
@@ -119,6 +124,7 @@ class group {
   deliver_fn deliver_;
   view_fn view_cb_;
   view_fn joined_cb_;
+  std::function<void()> excluded_cb_;
   state_transfer_hooks xfer_;
 
   std::unique_ptr<reliable_mcast> rmcast_;

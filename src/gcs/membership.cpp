@@ -28,6 +28,10 @@ std::vector<node_id> membership::alive_members() const {
 }
 
 bool membership::is_primary(std::size_t members) const {
+  // Testing backdoor (group_config::unsafe_no_primary_partition): let any
+  // non-empty partition claim primacy so the check layer's split-brain
+  // detection can be exercised end to end.
+  if (cfg_.unsafe_no_primary_partition) return members > 0;
   return members * 2 > current_.members.size();
 }
 
@@ -135,6 +139,10 @@ void membership::on_propose(const view_propose_msg& m) {
   coordinator_ = m.hdr.sender;
   member_flush_done_ = false;
   if (hooks_.stop_sends) hooks_.stop_sends();
+  // The prefixes reported below seed the agreed cut; everything ordered
+  // after this instant belongs to the next view, so the sequencer stops
+  // minting assignments until the install.
+  if (hooks_.quiesce_order) hooks_.quiesce_order();
   if (hooks_.cancel_flush) hooks_.cancel_flush();
 
   view_state_msg reply;
@@ -231,14 +239,34 @@ void membership::on_install(const view_install_msg& m) {
     // our outbound traffic is gone, inbound flows). Stall with sends
     // stopped instead of adopting a view we are not part of — recovery
     // (rejoin with state transfer) is the way back in.
-    DBSM_LOG(info, "gcs.membership",
-             "node " << env_.self() << " sees view " << m.new_view_id
-                     << " excluding itself; stalling");
-    excluded_ = true;
-    if (hooks_.stop_sends) hooks_.stop_sends();
+    discover_excluded(m.new_view_id);
     return;
   }
   finish_install(m);
+}
+
+void membership::on_foreign_view(std::uint32_t id) {
+  if (id <= current_.id) return;
+  // Mid-flush toward that view (or a later one) with a primary partition
+  // still alive: our own install is in flight, this is just a faster
+  // member's traffic arriving first. A minority node gets no such benefit
+  // of the doubt — it cannot install anything itself, so a higher view id
+  // can only mean the majority moved on without it.
+  if (changing_ && pending_view_ >= id &&
+      is_primary(alive_members().size())) {
+    return;
+  }
+  discover_excluded(id);
+}
+
+void membership::discover_excluded(std::uint32_t view_id) {
+  DBSM_LOG(info, "gcs.membership",
+           "node " << env_.self() << " sees view " << view_id
+                   << " excluding itself; stalling");
+  const bool first = !excluded_;
+  excluded_ = true;
+  if (hooks_.stop_sends) hooks_.stop_sends();
+  if (first && hooks_.excluded) hooks_.excluded();
 }
 
 void membership::finish_install(const view_install_msg& m) {

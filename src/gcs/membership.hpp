@@ -34,6 +34,12 @@ class membership {
   struct hooks {
     /// Pause new application sends (reliability keeps running).
     std::function<void()> stop_sends;
+    /// Pause total-order assignment creation until the next install. The
+    /// flush cut is computed from the prefixes reported below; assignments
+    /// minted after that report would self-deliver at the sequencer only
+    /// (sends are stopped) and break view synchrony — the sequencer must
+    /// go quiescent for the duration of the change.
+    std::function<void()> quiesce_order;
     /// Per-sender contiguous receive prefixes, aligned with the current
     /// (old) view's member list.
     std::function<std::vector<std::uint64_t>()> get_prefixes;
@@ -49,6 +55,11 @@ class membership {
                        const std::vector<node_id>& old_members,
                        const std::vector<std::uint64_t>& cut)>
         install;
+    /// This node saw a view install that excludes it. Delivery must stop:
+    /// on a slow (not cut) link the group's stream keeps arriving, and an
+    /// excluded node must not go on delivering in a view it is not part
+    /// of. Fires once, at the moment of discovery.
+    std::function<void()> excluded;
     /// Control-plane messaging (self-delivery handled by the caller).
     std::function<void(node_id, util::shared_bytes)> send;
     std::function<void(util::shared_bytes)> mcast;
@@ -94,7 +105,17 @@ class membership {
   void on_flush_ok(const view_flush_ok_msg& m);
   void on_install(const view_install_msg& m);
 
+  /// Called with the header view id of every incoming message. Traffic
+  /// tagged with a view this node never installed (and is not mid-flush
+  /// toward) reveals a missed exclusion: a view only installs with every
+  /// member's flush report, so a view this node did not participate in
+  /// cannot include it. The install message itself is unreliable — a
+  /// partitioned-off node that missed it would otherwise never learn it
+  /// was voted out and keep extending its own branch forever.
+  void on_foreign_view(std::uint32_t id);
+
  private:
+  void discover_excluded(std::uint32_t view_id);
   std::vector<node_id> alive_members() const;
   /// Primary-partition rule: true iff `members` sites are a majority of
   /// the current view, i.e. allowed to form the next view.

@@ -48,16 +48,22 @@ void total_order::start_at(std::uint64_t next) {
 
 void total_order::set_sequencer(node_id sequencer) {
   sequencer_ = sequencer;
-  const bool was = am_sequencer_;
   am_sequencer_ = sequencer == env_.self();
-  if (am_sequencer_ && !was) {
-    // Assign everything already complete but unordered, deterministically.
+  if (am_sequencer_ && !quiesced_) {
+    // Assign everything complete but unordered, deterministically. This
+    // runs on every role update (not just takeovers): after a view change
+    // the continuing sequencer must pick up messages that completed while
+    // ordering was quiesced for the flush.
     for (const auto& [key, msg] : complete_) {
       if (!assigned_.count(key)) maybe_assign(key.first, key.second);
     }
     flush_batch();
   }
 }
+
+void total_order::quiesce() { quiesced_ = true; }
+
+void total_order::halt_delivery() { halted_ = true; }
 
 void total_order::maybe_assign(node_id sender, std::uint64_t app_seq) {
   const msg_key key{sender, app_seq};
@@ -83,6 +89,10 @@ void total_order::maybe_assign(node_id sender, std::uint64_t app_seq) {
 }
 
 void total_order::flush_batch() {
+  // Quiesced for a view change: hold the batch. Nothing in it reached the
+  // wire, so install_view() rolls these assignments back cleanly and the
+  // post-install rescan re-issues them under the new view.
+  if (quiesced_) return;
   if (batch_.empty()) return;
   if (batch_timer_ != 0) {
     env_.cancel_timer(batch_timer_);
@@ -98,7 +108,7 @@ void total_order::on_user_msg(node_id sender, std::uint64_t app_seq,
                               std::uint64_t last_dgram) {
   const msg_key key{sender, app_seq};
   complete_.emplace(key, pending_msg{std::move(payload), last_dgram});
-  if (am_sequencer_) maybe_assign(sender, app_seq);
+  if (am_sequencer_ && !quiesced_) maybe_assign(sender, app_seq);
   try_deliver();
 }
 
@@ -113,6 +123,7 @@ void total_order::on_assignments(const util::shared_bytes& batch) {
 }
 
 void total_order::try_deliver() {
+  if (halted_) return;
   auto it = order_.find(next_deliver_);
   while (it != order_.end()) {
     auto mit = complete_.find(it->second);
@@ -132,6 +143,7 @@ void total_order::install_view(const std::vector<node_id>& old_members,
                                const std::vector<std::uint64_t>& cut,
                                const std::vector<node_id>& new_members) {
   DBSM_CHECK(old_members.size() == cut.size());
+  quiesced_ = false;  // the flush is over; ordering resumes in the new view
   // Roll back assignments still sitting in the unflushed batch: they never
   // reached the wire, so no survivor (this node included) acted on them.
   for (const assignment& a : batch_) {

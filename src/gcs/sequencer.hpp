@@ -60,8 +60,27 @@ class total_order {
     send_assignments_ = std::move(fn);
   }
 
-  /// Updates the sequencer role (at start and at every view change).
+  /// Updates the sequencer role (at start and at every view change). When
+  /// this node is the sequencer it (re)assigns every complete-but-unordered
+  /// message — including ones that arrived while ordering was quiesced for
+  /// a view change.
   void set_sequencer(node_id sequencer);
+
+  /// Stops assignment creation and batch dissemination until the next
+  /// install_view(). Called when a view change reports its flush state:
+  /// the agreed cut covers exactly what was broadcast before the report,
+  /// so an assignment minted after it would self-deliver here (sends are
+  /// stopped) yet never reach the other members before they install —
+  /// delivering it in this view at one site only breaks view synchrony.
+  /// Received traffic still buffers and within-cut delivery continues.
+  void quiesce();
+
+  /// Terminal delivery stop: this node learned it was excluded from the
+  /// next view. View synchrony forbids delivering in a view one is not a
+  /// member of, so the in-flight stream (which may keep arriving on an
+  /// asymmetric or slow link) must not commit here any more. Only a stack
+  /// rebuild (recovery rejoin) resumes delivery.
+  void halt_delivery();
 
   /// Complete application message from the reliable layer (user payload).
   void on_user_msg(node_id sender, std::uint64_t app_seq,
@@ -106,6 +125,8 @@ class total_order {
 
   node_id sequencer_ = invalid_node;
   bool am_sequencer_ = false;
+  bool quiesced_ = false;  // view change in progress: no new assignments
+  bool halted_ = false;    // excluded from the group: no more delivery
 
   std::map<msg_key, pending_msg> complete_;       // received, not delivered
   std::map<std::uint64_t, msg_key> order_;        // global -> key

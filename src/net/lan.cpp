@@ -116,13 +116,18 @@ void lan::deliver(node_id from, node_id to, util::shared_bytes payload,
                   sim_time at_switch) {
   host& dest = hosts_.at(to);
   if (dest.isolated) return;
-  if (!link_faults_.empty())
-    at_switch += link_faults_.extra_delay(from, to);
+  // Degraded-path extra delay (fault injection) is propagation time, not
+  // port occupancy: it must be added after the receive-port reservation.
+  // Folding it into `at_switch` would book the port `extra` in the future
+  // and head-of-line-block every other sender's frames to this host
+  // behind one slow link.
+  sim_duration extra = 0;
+  if (!link_faults_.empty()) extra = link_faults_.extra_delay(from, to);
   const std::size_t wire = wire_size(payload->size());
   const sim_time start = std::max(at_switch, dest.rx_free_at);
   const sim_time rx_end = start + serialization_time(wire);
   dest.rx_free_at = rx_end;
-  sim_.schedule_at(rx_end, [this, from, to, payload] {
+  sim_.schedule_at(rx_end + extra, [this, from, to, payload] {
     host& h = hosts_.at(to);
     if (h.isolated) return;
     if (link_faults_.cut(from, to)) {

@@ -152,6 +152,24 @@ TEST(fault_windows, loss_applies_only_inside_the_window) {
   EXPECT_GT(rig.arrivals[1][1], milliseconds(25));
 }
 
+TEST(fault_windows, zero_width_window_is_a_no_op) {
+  // [t, t) arms nothing — shrunk fuzzer timelines produce such windows
+  // when halving, and they must not perturb the run they are replayed in.
+  site_rig rig(2, /*with_lan=*/true);
+  scenario s("zero_width");
+  s.add(loss_fault::random(1.0, site_selector{site_set{1}}),
+        milliseconds(10), milliseconds(10));
+  s.install(rig.s, rig.points());
+
+  for (sim_time at : {milliseconds(1), milliseconds(10), milliseconds(25)}) {
+    rig.s.schedule_at(at, [&rig] { rig.lan->send(0, 1, payload_of(100)); });
+  }
+  rig.s.run();
+
+  EXPECT_EQ(rig.arrivals[1].size(), 3u);  // nothing dropped, ever
+  EXPECT_EQ(rig.lan->injected_losses(1), 0u);
+}
+
 TEST(fault_windows, sched_latency_window_disarms) {
   site_rig rig(2);
   auto pts = rig.points();
@@ -317,6 +335,30 @@ TEST(asymmetric_faults, one_way_cut_suspicion_only_on_non_receiving_side) {
     EXPECT_EQ(r.view_changes, 0u);  // nobody excluded anybody
     EXPECT_GT(r.stats.total_committed(), 50u);
   }
+}
+
+// --- failure-detector hysteresis under delay --------------------------
+
+TEST(fault_windows, delay_only_scenario_causes_no_suspicion) {
+  // A pure-delay fault shifts every datagram but loses none: heartbeats
+  // keep arriving (late), so the miss-count hysteresis in the failure
+  // detector must keep every site trusted — no suspicion, no view change.
+  core::experiment_config cfg;
+  cfg.sites = 3;
+  cfg.clients = 24;
+  cfg.target_responses = 250;
+  cfg.max_sim_time = seconds(400);
+  cfg.seed = 1717;
+  scenario s("delay_only");
+  s.add(std::make_shared<link_delay_fault>(milliseconds(150),
+                                           site_set{0, 1, 2}),
+        seconds(5), seconds(25));
+  cfg.faults = s;
+
+  const auto r = core::run_experiment(cfg);
+  EXPECT_TRUE(r.safety.ok) << r.safety.detail;
+  EXPECT_EQ(r.view_changes, 0u);
+  EXPECT_GT(r.stats.total_committed(), 50u);
 }
 
 // --- scenario catalog -------------------------------------------------

@@ -212,5 +212,58 @@ TEST(failure_detector, reset_reseeds) {
   EXPECT_FALSE(fd.is_suspect(1, milliseconds(250)));
 }
 
+TEST(failure_detector, hysteresis_needs_consecutive_misses) {
+  // 20 ms heartbeat, suspect after 3 consecutive missed intervals.
+  failure_detector fd({0, 1}, 0, milliseconds(100), 0, milliseconds(20), 3);
+  // Past the timeout but with no scored misses: not yet a suspect.
+  EXPECT_FALSE(fd.is_suspect(1, milliseconds(150)));
+  fd.tick(milliseconds(150));
+  fd.tick(milliseconds(170));
+  EXPECT_EQ(fd.misses(1), 2u);
+  EXPECT_FALSE(fd.is_suspect(1, milliseconds(170)));
+  EXPECT_TRUE(fd.suspects(milliseconds(170)).empty());
+  fd.tick(milliseconds(190));
+  EXPECT_EQ(fd.misses(1), 3u);
+  EXPECT_TRUE(fd.is_suspect(1, milliseconds(190)));
+  const auto sus = fd.suspects(milliseconds(190));
+  ASSERT_EQ(sus.size(), 1u);
+  EXPECT_EQ(sus[0], 1u);
+}
+
+TEST(failure_detector, hysteresis_single_late_arrival_forgiven) {
+  failure_detector fd({0, 1}, 0, milliseconds(100), 0, milliseconds(20), 3);
+  fd.tick(milliseconds(150));
+  fd.tick(milliseconds(170));
+  // One datagram — even a badly delayed one — clears the streak.
+  fd.heard_from(1, milliseconds(175));
+  EXPECT_EQ(fd.misses(1), 0u);
+  fd.tick(milliseconds(300));
+  fd.tick(milliseconds(320));
+  // Silent past the timeout again, but only 2 misses since the arrival.
+  EXPECT_FALSE(fd.is_suspect(1, milliseconds(320)));
+  fd.tick(milliseconds(340));
+  EXPECT_TRUE(fd.is_suspect(1, milliseconds(340)));
+}
+
+TEST(failure_detector, hysteresis_tick_within_period_clears) {
+  failure_detector fd({0, 1}, 0, milliseconds(100), 0, milliseconds(20), 3);
+  fd.tick(milliseconds(150));
+  EXPECT_EQ(fd.misses(1), 1u);
+  fd.heard_from(1, milliseconds(160));
+  // A tick within one heartbeat period of the last arrival scores nothing.
+  fd.tick(milliseconds(170));
+  EXPECT_EQ(fd.misses(1), 0u);
+  // Self never accumulates misses.
+  fd.tick(milliseconds(400));
+  EXPECT_EQ(fd.misses(0), 0u);
+}
+
+TEST(failure_detector, hysteresis_disabled_is_timeout_only) {
+  // suspect_misses = 0 restores the plain timeout detector: no ticks ever
+  // run, yet silence past the timeout is enough.
+  failure_detector fd({0, 1}, 0, milliseconds(100), 0, milliseconds(20), 0);
+  EXPECT_TRUE(fd.is_suspect(1, milliseconds(150)));
+}
+
 }  // namespace
 }  // namespace dbsm::gcs

@@ -148,6 +148,8 @@ TEST_P(safety_under_faults, operational_sites_agree) {
 
   // Safety: identical committed sequences (§5.3).
   EXPECT_TRUE(result.safety.ok) << fc.name << ": " << result.safety.detail;
+  // The online invariant monitors must stay silent across the catalog.
+  EXPECT_TRUE(result.checks.ok) << fc.name << ": " << result.checks.summary();
   // Liveness: the system made progress despite the faults.
   EXPECT_GT(result.stats.total_committed(), 50u) << fc.name;
   EXPECT_GT(result.safety.common_prefix, 10u) << fc.name;
@@ -218,6 +220,7 @@ TEST(safety_fault, excluding_partition_changes_view_and_stays_safe) {
 
   const auto result = run_experiment(cfg);
   EXPECT_TRUE(result.safety.ok) << result.safety.detail;
+  EXPECT_TRUE(result.checks.ok) << result.checks.summary();
   EXPECT_GE(result.view_changes, 1u);
   EXPECT_GT(result.stats.total_committed(), 50u);
 }
