@@ -24,8 +24,18 @@ int main(int argc, char** argv) {
   flags.declare("clients", "60", "KV clients across 3 sites");
   flags.declare("keys", "20000", "keyspace size");
   flags.declare("granule", "128", "keys per scan granule");
+  flags.declare("dist", "zipfian",
+                "key distribution: zipfian (stationary) or latest "
+                "(YCSB-D drifting hot set)");
   flags.declare("json", "", "optional JSON baseline output path");
   if (!flags.parse(argc, argv)) return 1;
+
+  const std::string dist_name = flags.get_string("dist");
+  if (dist_name != "zipfian" && dist_name != "latest") {
+    std::fprintf(stderr, "unknown --dist '%s' (zipfian|latest)\n",
+                 dist_name.c_str());
+    return 1;
+  }
 
   const std::vector<double> thetas =
       flags.get_bool("quick")
@@ -39,6 +49,7 @@ int main(int argc, char** argv) {
   csv_rows.push_back({"theta", "tpm", "cert_aborts", "cert_pct",
                       "preempt_pct", "lock_pct", "abort_pct"});
   std::string json = "{\n  \"benchmark\": \"kv_zipf_skew_sweep\",\n"
+                     "  \"dist\": \"" + dist_name + "\",\n"
                      "  \"points\": [\n";
 
   for (std::size_t i = 0; i < thetas.size(); ++i) {
@@ -54,6 +65,8 @@ int main(int argc, char** argv) {
     k.keys_per_granule =
         static_cast<std::uint32_t>(flags.get_int("granule"));
     k.zipf_theta = theta;
+    k.dist = dist_name == "latest" ? kv::key_dist::latest
+                                   : kv::key_dist::zipfian;
     k.mix_read = 0.30;
     k.mix_update = 0.30;
     k.mix_scan = 0.25;

@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
     cfg.seed = flags.get_u64("seed");
     cfg.faults = e->make(prm);
     cfg.enable_recovery = e->needs_recovery;
+    if (e->placement_degree > 0)
+      cfg.placement = {place::strategy::round_robin, e->placement_degree};
     std::fprintf(stderr, "[fault_injection] %s ...\n", e->name);
     const auto r = core::run_experiment(cfg);
 

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "cert/index_shard.hpp"
@@ -77,6 +78,16 @@ struct cert_config {
   /// term then follows the critical path: the fork worker whose shard
   /// range holds the most probed elements.
   sim_duration cost_fork_join = microseconds(2);
+  /// Optional override of the sharded certifier's id -> shard map, e.g.
+  /// to align certification shards with a data placement (the shard that
+  /// probes a granule is derived from the granule's primary replica, so
+  /// partitioned certification touches index partitions congruent with
+  /// the storage partitioning). Must be a pure deterministic function of
+  /// (id, shard count), identical at every site. Decisions are invariant
+  /// under ANY map — it only re-partitions the index — which is exactly
+  /// what tests/cert_shard_test.cpp-style differentials rely on. Unset
+  /// keeps the built-in splitmix64 layout.
+  std::function<std::size_t(db::item_id id, std::size_t shards)> shard_map;
 };
 
 class certifier {

@@ -25,6 +25,12 @@ sharded_certifier::sharded_certifier(cert_config cfg) : cfg_(cfg) {
 }
 
 std::size_t sharded_certifier::shard_of(db::item_id id) const {
+  if (cfg_.shard_map) {
+    const std::size_t s = cfg_.shard_map(id, shards_.size());
+    DBSM_CHECK_MSG(s < shards_.size(), "shard_map returned " << s
+                                           << " of " << shards_.size());
+    return s;
+  }
   // splitmix64 finalizer: deterministic across platforms and runs, and
   // uncorrelated with the id layout's table/warehouse bit fields.
   std::uint64_t x = id;

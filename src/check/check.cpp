@@ -22,7 +22,8 @@ std::string report::summary() const {
 checker::checker(config cfg) : cfg_(cfg) {}
 
 std::unique_ptr<checker> checker::standard(config cfg, unsigned sites,
-                                           const cert::cert_config& cert_cfg) {
+                                           const cert::cert_config& cert_cfg,
+                                           const place::placement& placement) {
   auto c = std::make_unique<checker>(cfg);
   c->add(std::make_unique<agreed_prefix_monitor>());
   c->add(std::make_unique<view_synchrony_monitor>(sites));
@@ -31,6 +32,12 @@ std::unique_ptr<checker> checker::standard(config cfg, unsigned sites,
     c->add(std::make_unique<cert_oracle_monitor>(cert_cfg));
   }
   c->add(std::make_unique<recovery_convergence_monitor>(cfg));
+  // Only partial placements add the placement-consistency monitor: full
+  // runs keep the historical five-monitor set (and synthetic event-stream
+  // tests that never emit apply events stay valid).
+  if (!placement.is_full()) {
+    c->add(std::make_unique<placement_monitor>(placement));
+  }
   return c;
 }
 
@@ -42,6 +49,12 @@ void checker::decision(const decision_event& e) {
   if (halted_) return;
   ++report_.decisions_checked;
   for (auto& m : monitors_) m->on_decision(e, *this);
+}
+
+void checker::applied(const apply_event& e) {
+  if (halted_) return;
+  ++report_.applies_checked;
+  for (auto& m : monitors_) m->on_apply(e, *this);
 }
 
 void checker::view_installed(const view_event& e) {

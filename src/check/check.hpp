@@ -36,6 +36,7 @@
 #include "cert/certifier.hpp"
 #include "cert/txn_codec.hpp"
 #include "gcs/view.hpp"
+#include "place/placement.hpp"
 #include "util/types.hpp"
 
 namespace dbsm::check {
@@ -72,6 +73,7 @@ struct report {
   std::vector<violation> violations;
   // Coverage counters (how much the monitors actually saw).
   std::uint64_t decisions_checked = 0;
+  std::uint64_t applies_checked = 0;
   std::uint64_t views_checked = 0;
   std::uint64_t log_resets_checked = 0;
   std::uint64_t rejoins_checked = 0;
@@ -90,6 +92,18 @@ struct decision_event {
   const cert::txn_payload* txn = nullptr;
   bool commit = false;
   std::uint64_t log_len = 0;
+  sim_time at = 0;
+};
+
+/// A committed update folded into one site's store, fired right after the
+/// corresponding decision_event at that site: the write-set slice the site
+/// makes durable under its placement, and its cumulative durable bytes.
+struct apply_event {
+  unsigned site = 0;
+  std::uint64_t global_seq = 0;
+  const cert::txn_payload* txn = nullptr;
+  const std::vector<db::item_id>* durable_slice = nullptr;
+  std::uint64_t durable_bytes = 0;
   sim_time at = 0;
 };
 
@@ -147,6 +161,7 @@ class monitor {
   virtual ~monitor() = default;
   virtual std::string_view name() const = 0;
   virtual void on_decision(const decision_event&, sink&) {}
+  virtual void on_apply(const apply_event&, sink&) {}
   virtual void on_view(const view_event&, sink&) {}
   virtual void on_excluded(const excluded_event&, sink&) {}
   virtual void on_log_reset(const log_reset_event&, sink&) {}
@@ -165,10 +180,15 @@ class checker final : public sink {
  public:
   explicit checker(config cfg);
 
-  /// The standard five-monitor suite for a `sites`-site system whose
-  /// replicas certify under `cert_cfg` (the oracle must match the window).
-  static std::unique_ptr<checker> standard(config cfg, unsigned sites,
-                                           const cert::cert_config& cert_cfg);
+  /// The standard monitor suite for a `sites`-site system whose replicas
+  /// certify under `cert_cfg` (the oracle must match the window). When
+  /// `placement` is partial, the suite additionally includes the
+  /// placement-consistency monitor ("every committed update is durable at
+  /// exactly its replica set"); a full placement keeps the historical
+  /// five-monitor set, so default runs observe the identical event flow.
+  static std::unique_ptr<checker> standard(
+      config cfg, unsigned sites, const cert::cert_config& cert_cfg,
+      const place::placement& placement = place::placement());
 
   void add(std::unique_ptr<monitor> m);
 
@@ -177,6 +197,7 @@ class checker final : public sink {
 
   // Event entry points (wired to the cluster's observer seam).
   void decision(const decision_event& e);
+  void applied(const apply_event& e);
   void view_installed(const view_event& e);
   void excluded(const excluded_event& e);
   void log_reset(const log_reset_event& e);

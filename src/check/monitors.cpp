@@ -327,4 +327,61 @@ void recovery_convergence_monitor::on_run_end(sim_time now, sink& s) {
   }
 }
 
+// --- (6) placement consistency -----------------------------------------
+
+void placement_monitor::on_decision(const decision_event& e, sink& s) {
+  const auto it = pending_.find(e.site);
+  if (it != pending_.end()) {
+    s.raise({std::string(name()), e.site, e.at,
+             "committed txn " + std::to_string(it->second.txn_id) +
+                 " at position " + std::to_string(it->second.global_seq) +
+                 " was never made durable (next decision arrived first)"});
+    pending_.erase(it);
+  }
+  if (e.commit) pending_[e.site] = {e.global_seq, e.txn->id};
+}
+
+void placement_monitor::on_apply(const apply_event& e, sink& s) {
+  const auto it = pending_.find(e.site);
+  if (it == pending_.end() || it->second.txn_id != e.txn->id ||
+      it->second.global_seq != e.global_seq) {
+    s.raise({std::string(name()), e.site, e.at,
+             "apply of txn " + std::to_string(e.txn->id) + " at position " +
+                 std::to_string(e.global_seq) +
+                 " does not match any pending commit decision" +
+                 (it != pending_.end()
+                      ? " (pending: txn " +
+                            std::to_string(it->second.txn_id) + " at " +
+                            std::to_string(it->second.global_seq) + ")"
+                      : "")});
+    return;
+  }
+  pending_.erase(it);
+  // Independent recomputation: the durable slice must be exactly what the
+  // placement assigns this site — nothing missing, nothing extra.
+  placement_.slice(e.txn->write_set, e.site, expected_);
+  if (*e.durable_slice != expected_) {
+    s.raise({std::string(name()), e.site, e.at,
+             "txn " + std::to_string(e.txn->id) + " durable slice has " +
+                 std::to_string(e.durable_slice->size()) +
+                 " elements but the placement (" + placement_.describe() +
+                 ") assigns " + std::to_string(expected_.size()) +
+                 " — committed data stored outside (or missing from) the "
+                 "granule's replica set"});
+  }
+}
+
+void placement_monitor::on_log_reset(const log_reset_event& e, sink&) {
+  // State transfer rebuilt the site wholesale; any decision/apply pair in
+  // flight on the torn-down incarnation is void.
+  pending_.erase(e.site);
+}
+
+void placement_monitor::on_run_end(sim_time, sink&) {
+  // A decision at the very end of the run may have its apply event fire
+  // in the same delivery job but after the simulation's stop was issued;
+  // in-flight pairs at run end are therefore not violations.
+  pending_.clear();
+}
+
 }  // namespace dbsm::check

@@ -9,6 +9,7 @@
 
 #include "cert/reference_certifier.hpp"
 #include "check/check.hpp"
+#include "place/placement.hpp"
 
 namespace dbsm::check {
 
@@ -152,6 +153,34 @@ class recovery_convergence_monitor final : public monitor {
   sim_duration deadline_;
   std::uint64_t max_log_ = 0;           // longest commit log seen anywhere
   std::map<unsigned, sim_time> pending_;  // site -> recovery start time
+};
+
+/// (6) Placement consistency (partial replication): every committed update
+/// is durable at exactly its replica set. Per site, each commit decision
+/// must be followed — before the site's next decision — by exactly one
+/// apply event for the same transaction (the replica fires them
+/// back-to-back inside the delivery job), and the reported durable slice
+/// must equal the placement's independent recomputation: nothing the site
+/// replicates is missing, nothing outside its assignment is stored. Abort
+/// decisions must produce no apply. Recovery state transfers reset the
+/// pairing for the rebuilt site.
+class placement_monitor final : public monitor {
+ public:
+  explicit placement_monitor(place::placement p) : placement_(p) {}
+  std::string_view name() const override { return "placement"; }
+  void on_decision(const decision_event& e, sink& s) override;
+  void on_apply(const apply_event& e, sink& s) override;
+  void on_log_reset(const log_reset_event& e, sink& s) override;
+  void on_run_end(sim_time now, sink& s) override;
+
+ private:
+  struct pending_apply {
+    std::uint64_t global_seq = 0;
+    std::uint64_t txn_id = 0;
+  };
+  place::placement placement_;
+  std::map<unsigned, pending_apply> pending_;  // site -> unapplied commit
+  std::vector<db::item_id> expected_;          // recomputation scratch
 };
 
 }  // namespace dbsm::check

@@ -29,7 +29,11 @@ cluster::cluster(config cfg) : cfg_(std::move(cfg)) {
   }
   cfg_.gcs.members = members;
 
-  cfg_.replica_cfg.total_sites = cfg_.sites;
+  DBSM_CHECK_MSG(cfg_.replica_cfg.placement.is_full() ||
+                     cfg_.replica_cfg.placement.sites() == cfg_.sites,
+                 "placement built for "
+                     << cfg_.replica_cfg.placement.sites()
+                     << " sites, cluster has " << cfg_.sites);
   groups_.resize(cfg_.sites);
   replicas_.resize(cfg_.sites);
   for (unsigned i = 0; i < cfg_.sites; ++i) {
@@ -81,7 +85,9 @@ void cluster::build_site_stack(unsigned i, bool joining,
 
   if (cfg_.gcs.enable_recovery) {
     groups_[i]->set_state_transfer(
-        {[r = replicas_[i].get()] { return r->snapshot(); },
+        {[r = replicas_[i].get()](node_id joiner) {
+           return r->snapshot(joiner);
+         },
          [r = replicas_[i].get()](util::shared_bytes blob) {
            r->install_snapshot(std::move(blob));
          }});
@@ -122,6 +128,14 @@ void cluster::wire_observer(unsigned i) {
         [this, i](const cert::txn_payload& txn, std::uint64_t seq,
                   bool commit, std::uint64_t len) {
           obs_.on_decision(i, txn, seq, commit, len);
+        });
+  }
+  if (obs_.on_apply) {
+    replicas_[i]->set_apply_observer(
+        [this, i](const cert::txn_payload& txn, std::uint64_t seq,
+                  const std::vector<db::item_id>& slice,
+                  std::uint64_t durable_bytes) {
+          obs_.on_apply(i, txn, seq, slice, durable_bytes);
         });
   }
   if (obs_.on_log_reset) {

@@ -107,6 +107,15 @@ class cluster {
     /// `site` discovered that a view install excluded it (delivery halts
     /// there until it rejoins through recovery).
     std::function<void(unsigned site)> on_excluded;
+    /// Committed update folded into `site`'s store: the write-set slice
+    /// the site makes durable under its placement (see
+    /// replica::set_apply_observer). Fires right after on_decision for
+    /// every commit, at every site.
+    std::function<void(unsigned site, const cert::txn_payload& txn,
+                       std::uint64_t global_seq,
+                       const std::vector<db::item_id>& durable_slice,
+                       std::uint64_t durable_bytes)>
+        on_apply;
     /// Recovery state transfer replaced `site`'s commit log.
     std::function<void(unsigned site, const std::vector<std::uint64_t>& log)>
         on_log_reset;

@@ -24,7 +24,21 @@ experiment_result run_experiment(const experiment_config& cfg) {
   ccfg.sites = total_sites;
   ccfg.cpus_per_site = cfg.cpus_per_site;
   ccfg.replica_cfg = cfg.replica_cfg;
-  ccfg.replica_cfg.replication_degree = cfg.replication_degree;
+  ccfg.replica_cfg.placement =
+      place::placement::make(cfg.placement, total_sites);
+  // Placement-aligned certification sharding: when the data placement is
+  // partial and certification is sharded, derive the shard of every id
+  // from its granule's primary replica, so index partitions are congruent
+  // with the storage partitioning. Decision-invariant (the map only
+  // re-partitions the index); an explicitly configured map wins.
+  if (!ccfg.replica_cfg.placement.is_full() &&
+      ccfg.replica_cfg.cert.shards > 1 && !ccfg.replica_cfg.cert.shard_map) {
+    const place::placement resolved = ccfg.replica_cfg.placement;
+    ccfg.replica_cfg.cert.shard_map = [resolved](db::item_id id,
+                                                 std::size_t shards) {
+      return static_cast<std::size_t>(resolved.primary(id)) % shards;
+    };
+  }
   ccfg.gcs = cfg.gcs;
   ccfg.gcs.enable_recovery = ccfg.gcs.enable_recovery || cfg.enable_recovery;
   ccfg.costs = cfg.costs;
@@ -121,7 +135,8 @@ experiment_result run_experiment(const experiment_config& cfg) {
   std::unique_ptr<check::checker> checker;
   if (cfg.checks.enabled) {
     checker = check::checker::standard(cfg.checks, total_sites,
-                                       ccfg.replica_cfg.cert);
+                                       ccfg.replica_cfg.cert,
+                                       ccfg.replica_cfg.placement);
     checker->set_halt([&c] { c.sim().stop(); });
     cluster::observer obs;
     check::checker* ck = checker.get();
@@ -129,6 +144,12 @@ experiment_result run_experiment(const experiment_config& cfg) {
                                std::uint64_t seq, bool commit,
                                std::uint64_t len) {
       ck->decision({site, seq, &txn, commit, len, c.sim().now()});
+    };
+    obs.on_apply = [ck, &c](unsigned site, const cert::txn_payload& txn,
+                            std::uint64_t seq,
+                            const std::vector<db::item_id>& slice,
+                            std::uint64_t durable_bytes) {
+      ck->applied({site, seq, &txn, &slice, durable_bytes, c.sim().now()});
     };
     obs.on_view = [ck, &c](unsigned site, const gcs::view& v,
                            std::uint64_t delivered) {
@@ -187,6 +208,15 @@ experiment_result run_experiment(const experiment_config& cfg) {
     sr.committed_log = c.site(i).commit_log().size();
     sr.client_commits = by_site[i].commits;
     sr.client_responses = by_site[i].responses;
+    sr.disk_utilization = c.site(i).server().disk().utilization();
+    sr.applied_update_bytes = c.site(i).applied_update_bytes();
+    sr.store_bytes = c.site(i).store().durable_bytes();
+    sr.owned_granules = c.site(i).store().owned_granules();
+    sr.tracked_granules = c.site(i).store().tracked_granules();
+    sr.delivered_payload_bytes = c.site(i).delivered_payload_bytes();
+    sr.interested_payload_bytes = c.site(i).interested_payload_bytes();
+    sr.join_snapshot_bytes = c.group(i).join_snapshot_bytes();
+    sr.join_chunk_bytes = c.group(i).join_chunk_bytes();
     result.sites.push_back(sr);
 
     site_log_input in;

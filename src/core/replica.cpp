@@ -25,13 +25,22 @@ replica::replica(sim::simulator& sim, csrt::cpu_pool& cpu,
     : sim_(sim), cpu_(cpu), env_(env), group_(group), cfg_(cfg),
       server_(sim, cpu, cfg.server, gen.fork("server")),
       cert_(cfg.cert), rng_(gen.fork("replica")),
-      next_local_txn_(first_local_txn), incarnation_floor_(first_local_txn) {}
+      next_local_txn_(first_local_txn), incarnation_floor_(first_local_txn),
+      store_(cfg.placement, env.self()) {}
 
-util::shared_bytes replica::snapshot() const {
+util::shared_bytes replica::snapshot(node_id for_site) const {
   util::buffer_writer w;
   cert_.snapshot(w);
   w.put_u64(commit_log_.size());
   for (const std::uint64_t id : commit_log_) w.put_u64(id);
+  // Only partial placements extend the wire format with the placement
+  // stamp and the joiner's granule slice: the full-placement blob stays
+  // byte-identical to the pre-placement protocol (both sides agree on
+  // the format because they agree on the placement, checked below).
+  if (!cfg_.placement.is_full()) {
+    cfg_.placement.snapshot(w);
+    store_.snapshot_for(w, for_site);
+  }
   return w.take();
 }
 
@@ -42,6 +51,14 @@ void replica::install_snapshot(util::shared_bytes blob) {
   const std::uint64_t n = r.get_u64();
   commit_log_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) commit_log_.push_back(r.get_u64());
+  if (!cfg_.placement.is_full()) {
+    const place::placement donor_placement = place::placement::restore(r);
+    DBSM_CHECK_MSG(donor_placement == cfg_.placement,
+                   "state-transfer placement mismatch: donor "
+                       << donor_placement.describe() << " vs joiner "
+                       << cfg_.placement.describe());
+    store_.restore(r);
+  }
   if (on_log_reset_) on_log_reset_(commit_log_);
 }
 
@@ -119,6 +136,17 @@ void replica::on_executed(const db::txn_request& req) {
   });
 }
 
+std::pair<std::size_t, std::size_t> replica::owned_tuple_split(
+    const std::vector<db::item_id>& write_set) const {
+  std::size_t owned = 0, total = 0;
+  for (const db::item_id it : write_set) {
+    if (db::is_granule(it)) continue;
+    ++total;
+    if (cfg_.placement.stores(env_.self(), it)) ++owned;
+  }
+  return {owned, total};
+}
+
 void replica::on_deliver(node_id, std::uint64_t,
                          util::shared_bytes payload) {
   if (halted_) return;
@@ -131,13 +159,30 @@ void replica::on_deliver(node_id, std::uint64_t,
   const bool commit =
       cert_.certify_update(txn.begin_pos, txn.read_set, txn.write_set);
   env_.charge(cert_.last_cost());
+  const std::uint64_t pos = cert_.position();
   if (commit) commit_log_.push_back(txn.id);
   if (on_decision_) {
-    on_decision_(txn, cert_.position(), commit, commit_log_.size());
+    on_decision_(txn, pos, commit, commit_log_.size());
+  }
+
+  // Placement bookkeeping (pure — no modeled time, no randomness, so the
+  // full-placement default stays simulation-identical): account the
+  // delivered payload against what a placement-aware multicast would have
+  // shipped here, and fold committed writes into the granule directory.
+  delivered_payload_bytes_ += payload->size();
+  if (cfg_.placement.interested(env_.self(), txn.write_set))
+    interested_payload_bytes_ += payload->size();
+  if (commit) {
+    store_.apply(txn.write_set, txn.update_bytes);
+    if (on_apply_) {
+      cfg_.placement.slice(txn.write_set, env_.self(), slice_scratch_);
+      on_apply_(txn, pos, slice_scratch_, store_.durable_bytes());
+    }
   }
 
   env_.call_out([this, txn = std::move(txn), commit] {
     if (halted_) return;
+    const std::size_t sector = cfg_.server.storage.sector_bytes;
     // Transactions of a previous incarnation of this site (issued before a
     // crash/restart, delivered or replayed after) have no pending entry to
     // finish: they apply like remote work below.
@@ -149,7 +194,28 @@ void replica::on_deliver(node_id, std::uint64_t,
       }
       if (server_.active(txn.id)) {
         if (commit) {
-          server_.finish_commit(txn.id);
+          if (cfg_.placement.is_full()) {
+            // Full replication: byte-exact historical path.
+            db::txn_request probe;
+            probe.write_set = txn.write_set;
+            probe.disk_sectors = txn.disk_sectors;
+            applied_update_bytes_ += db::server::disk_write_bytes(probe,
+                                                                  sector);
+            server_.finish_commit(txn.id);
+          } else {
+            // Partial: the origin makes durable only its placement slice
+            // (pro-rated when the workload packed explicit sectors).
+            const auto [owned, total] = owned_tuple_split(txn.write_set);
+            db::txn_request probe;
+            probe.write_set = txn.write_set;
+            probe.disk_sectors = txn.disk_sectors;
+            const std::size_t full_bytes =
+                db::server::disk_write_bytes(probe, sector);
+            const std::size_t bytes =
+                total != 0 ? full_bytes * owned / total : full_bytes;
+            applied_update_bytes_ += bytes;
+            server_.finish_commit_bytes(txn.id, bytes);
+          }
         } else {
           server_.finish_abort(txn.id);
         }
@@ -162,25 +228,43 @@ void replica::on_deliver(node_id, std::uint64_t,
       return;
     }
     if (commit) {
-      // Partial replication: apply only within the transaction's replica
-      // set (origin + next replication_degree-1 sites, modulo sites).
-      if (cfg_.replication_degree != 0 &&
-          cfg_.replication_degree < cfg_.total_sites) {
-        const unsigned distance =
-            (env_.self() + cfg_.total_sites - txn.origin) %
-            cfg_.total_sites;
-        if (distance >= cfg_.replication_degree) return;
-      }
       // Remotely initiated: acquire locks (preempting local holders),
-      // write back, release (§3.1).
+      // write back, release (§3.1). Under a partial placement only the
+      // locally stored slice is applied; a site outside every written
+      // granule's replica set skips the transaction entirely — that is
+      // the disk/CPU saving partial replication buys (§6).
       db::txn_request req;
       req.id = txn.id;
       req.cls = txn.cls;
       req.origin = txn.origin;
       req.read_set = txn.read_set;
-      req.write_set = txn.write_set;
-      req.update_bytes = txn.update_bytes;
-      req.disk_sectors = txn.disk_sectors;
+      if (cfg_.placement.is_full()) {
+        req.write_set = txn.write_set;
+        req.update_bytes = txn.update_bytes;
+        req.disk_sectors = txn.disk_sectors;
+      } else {
+        cfg_.placement.slice(txn.write_set, env_.self(), slice_scratch_);
+        if (slice_scratch_.empty()) return;  // not in any replica set
+        const auto [owned, total] = owned_tuple_split(txn.write_set);
+        if (owned == total) {
+          // Whole write set stored here: apply exactly as full would.
+          req.write_set = txn.write_set;
+          req.update_bytes = txn.update_bytes;
+          req.disk_sectors = txn.disk_sectors;
+        } else {
+          req.write_set = slice_scratch_;
+          req.update_bytes = static_cast<std::uint32_t>(
+              total != 0
+                  ? static_cast<std::uint64_t>(txn.update_bytes) * owned /
+                        total
+                  : txn.update_bytes);
+          req.disk_sectors = static_cast<std::uint16_t>(
+              total != 0 ? static_cast<std::size_t>(txn.disk_sectors) *
+                               owned / total
+                         : txn.disk_sectors);
+        }
+      }
+      applied_update_bytes_ += db::server::disk_write_bytes(req, sector);
       server_.apply_remote(req, {});
     }
   });

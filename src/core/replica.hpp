@@ -17,12 +17,15 @@
 #define DBSM_CORE_REPLICA_HPP
 
 #include <unordered_map>
+#include <utility>
 
 #include "cert/sharded_certifier.hpp"
 #include "cert/txn_codec.hpp"
 #include "csrt/sim_env.hpp"
 #include "db/server.hpp"
 #include "gcs/group.hpp"
+#include "place/granule_store.hpp"
+#include "place/placement.hpp"
 #include "util/stats.hpp"
 
 namespace dbsm::core {
@@ -37,12 +40,15 @@ class replica {
     double codec_cost_per_byte_ns = 2.0;
 
     /// Partial replication (§6 / [24], the paper's proposed mitigation of
-    /// the read-one/write-all disk ceiling): each update is applied at its
-    /// origin plus the next `replication_degree - 1` sites. 0 means full
-    /// replication. Certification stays global (the total order is still
-    /// delivered everywhere), only write application is partial.
-    unsigned replication_degree = 0;
-    unsigned total_sites = 1;
+    /// the read-one/write-all disk ceiling): each granule lives at an
+    /// explicit replica set, write sets are split per the placement, and a
+    /// site stores/applies/makes durable only its slice. Certification
+    /// stays global (the total order is still delivered everywhere and
+    /// every site logs the same committed sequence); partiality is a
+    /// property of storage and application, not of the decision. The
+    /// default (full) placement keeps every path bit-identical to full
+    /// replication.
+    place::placement placement;
   };
 
   /// `first_local_txn` seeds the local transaction counter: a replica
@@ -61,9 +67,13 @@ class replica {
   /// Marshals the replica state for a membership-recovery transfer: the
   /// certification state (position, history, index — in the canonical
   /// shard-count-agnostic format of cert/index_shard.hpp, so donor and
-  /// joiner may run different cert_config::shards) and the committed
-  /// sequence. Called by the donor between deliveries.
-  util::shared_bytes snapshot() const;
+  /// joiner may run different cert_config::shards), the committed
+  /// sequence, the placement (donor and joiner must agree — a mismatch
+  /// would silently mis-route every slice), and the granule directory
+  /// slice `for_site` replicates, with data-sized padding. Under partial
+  /// replication the blob therefore shrinks with the degree. Called by
+  /// the donor between deliveries.
+  util::shared_bytes snapshot(node_id for_site) const;
 
   /// Installs a transferred snapshot on a freshly rebuilt replica; the
   /// joiner then replays forwarded deliveries through on_deliver and
@@ -113,6 +123,35 @@ class replica {
     on_log_reset_ = std::move(fn);
   }
 
+  /// Fired synchronously inside the delivery job, right after the decision
+  /// observer, for every COMMITTED update: (payload, update-order
+  /// position, the write-set slice this site makes durable under its
+  /// placement, cumulative durable bytes). The placement-consistency
+  /// monitor pairs each commit decision with exactly this event. Observers
+  /// must be passive.
+  using apply_observer = std::function<void(
+      const cert::txn_payload&, std::uint64_t global_seq,
+      const std::vector<db::item_id>& durable_slice,
+      std::uint64_t durable_bytes)>;
+  void set_apply_observer(apply_observer fn) { on_apply_ = std::move(fn); }
+
+  /// Placement bookkeeping: granule directory + durable accounting.
+  const place::granule_store& store() const { return store_; }
+  /// Total ordered user payload bytes delivered at this site.
+  std::uint64_t delivered_payload_bytes() const {
+    return delivered_payload_bytes_;
+  }
+  /// Payload bytes a placement-aware multicast would have had to ship
+  /// here (== delivered when full; falls with the degree when partial).
+  std::uint64_t interested_payload_bytes() const {
+    return interested_payload_bytes_;
+  }
+  /// Disk bytes this site wrote applying committed updates (origin
+  /// write-back + remote apply), placement-pro-rated when partial.
+  std::uint64_t applied_update_bytes() const {
+    return applied_update_bytes_;
+  }
+
   node_id id() const { return env_.self(); }
 
  private:
@@ -120,6 +159,11 @@ class replica {
   void on_deliver(node_id sender, std::uint64_t global_seq,
                   util::shared_bytes payload);
   sim_duration codec_cost(std::size_t bytes) const;
+  /// (owned non-granule tuples, total non-granule tuples) of a write set
+  /// under this site's placement — the pro-rating basis for partial
+  /// durability.
+  std::pair<std::size_t, std::size_t> owned_tuple_split(
+      const std::vector<db::item_id>& write_set) const;
 
   struct pending_txn {
     std::uint64_t begin_pos = 0;
@@ -146,6 +190,13 @@ class replica {
   util::sample_set cert_latency_;
   decision_observer on_decision_;
   log_reset_observer on_log_reset_;
+  apply_observer on_apply_;
+  place::granule_store store_;
+  /// Reused per-delivery buffer for placement slices.
+  std::vector<db::item_id> slice_scratch_;
+  std::uint64_t delivered_payload_bytes_ = 0;
+  std::uint64_t interested_payload_bytes_ = 0;
+  std::uint64_t applied_update_bytes_ = 0;
   bool halted_ = false;
 };
 

@@ -132,16 +132,25 @@ void server::finish_commit(std::uint64_t id, std::function<void()> applied) {
     if (applied) applied();
     return;
   }
+  finish_commit_bytes(id, disk_write_bytes(txn.req, cfg_.storage.sector_bytes),
+                      std::move(applied));
+}
+
+void server::finish_commit_bytes(std::uint64_t id, std::size_t disk_bytes,
+                                 std::function<void()> applied) {
+  auto it = txns_.find(id);
+  DBSM_CHECK_MSG(it != txns_.end(), "finish_commit of unknown txn " << id);
+  active_txn& txn = it->second;
+  DBSM_CHECK(txn.st == stage::committing);
+  DBSM_CHECK(!txn.req.read_only());
 
   txn.st = stage::applying;
   // Past certification the transaction must commit; it can no longer be
   // preempted by remote transactions.
   locks_.mark_certified(id);
-  const std::size_t bytes =
-      disk_write_bytes(txn.req, cfg_.storage.sector_bytes);
   cpu_.submit_simulated(
-      cfg_.commit_cpu, [this, id, bytes, applied = std::move(applied)] {
-        storage_.write(bytes, [this, id, applied] {
+      cfg_.commit_cpu, [this, id, disk_bytes, applied = std::move(applied)] {
+        storage_.write(disk_bytes, [this, id, applied] {
           auto jt = txns_.find(id);
           DBSM_CHECK(jt != txns_.end());
           locks_.release_commit(id);

@@ -56,6 +56,13 @@ class server {
   /// the disk write completes.
   void finish_commit(std::uint64_t id, std::function<void()> applied = {});
 
+  /// finish_commit with an explicit disk-write size, for partial
+  /// replication: the origin makes durable only the write-set slice its
+  /// placement assigns to it (0 bytes still writes the one-sector commit
+  /// record). Update transactions only.
+  void finish_commit_bytes(std::uint64_t id, std::size_t disk_bytes,
+                           std::function<void()> applied = {});
+
   /// Termination decision: certification abort.
   void finish_abort(std::uint64_t id);
 
@@ -74,6 +81,12 @@ class server {
 
   std::uint64_t local_started() const { return local_started_; }
   std::uint64_t remote_applied() const { return remote_applied_; }
+
+  /// Bytes the commit writes to disk (one sector-aligned write per tuple,
+  /// unless the workload packed an explicit sector count). Exposed so the
+  /// replication layer can account and pro-rate partial-placement writes.
+  static std::size_t disk_write_bytes(const txn_request& req,
+                                      std::size_t sector);
 
  private:
   enum class stage : std::uint8_t {
@@ -98,9 +111,6 @@ class server {
   void run_ops(std::uint64_t id);
   void on_lock_abort(std::uint64_t id, lock_abort_cause cause);
   void finish(std::uint64_t id, txn_outcome outcome);
-  /// Bytes the commit writes to disk (one sector-aligned write per tuple).
-  static std::size_t disk_write_bytes(const txn_request& req,
-                                      std::size_t sector);
 
   sim::simulator& sim_;
   csrt::cpu_pool& cpu_;

@@ -114,6 +114,18 @@ scenario rolling_restarts(const params& p) {
   return s;
 }
 
+scenario partial_k2_crash_rejoin(const params& p) {
+  DBSM_CHECK_MSG(p.sites >= 4, "k=2 partial placement needs a strict "
+                               "subset and a surviving majority");
+  const unsigned victim = p.sites - 1;
+  scenario s("partial_k2_crash_rejoin");
+  s.add(std::make_shared<crash_fault>(site_selector{site_set{victim}}),
+        p.onset);
+  s.add(std::make_shared<recover_fault>(site_selector{site_set{victim}}),
+        p.onset + seconds(10));
+  return s;
+}
+
 const std::vector<catalog_entry>& catalog() {
   static const std::vector<catalog_entry> entries = {
       {"no_faults", "fault-free baseline", 1, true, &no_faults, false},
@@ -140,6 +152,9 @@ const std::vector<catalog_entry>& catalog() {
        false, &crash_restart, true},
       {"rolling_restarts", "restart every site in turn (rolling upgrade)",
        3, false, &rolling_restarts, true},
+      {"partial_k2_crash_rejoin",
+       "k=2 placement: crash last site, placement-filtered rejoin", 4,
+       false, &partial_k2_crash_rejoin, true, 2},
   };
   return entries;
 }

@@ -64,6 +64,12 @@ scenario crash_restart(const params& p = {});
 /// Restart every site in turn (crash, recover 8s later, next site 20s
 /// after), sequencer included — a rolling upgrade with no full outage.
 scenario rolling_restarts(const params& p = {});
+/// The crash_restart shape run under a k=2 partial placement (the catalog
+/// entry carries placement_degree = 2): the rejoining site's state
+/// transfer ships only the granule slice it replicates, and the placement
+/// monitor checks every post-rejoin apply. Needs >= 4 sites so "2 of N"
+/// is a strict subset while a majority survives the crash.
+scenario partial_k2_crash_rejoin(const params& p = {});
 
 struct catalog_entry {
   const char* name;
@@ -76,6 +82,10 @@ struct catalog_entry {
   /// True when the scenario injects recover faults: the experiment must
   /// run with membership recovery enabled.
   bool needs_recovery = false;
+  /// Non-zero when the scenario is defined over a partial placement: the
+  /// runner must set experiment_config::placement to a k-of-N strategy of
+  /// this degree (0 keeps the default full replication).
+  unsigned placement_degree = 0;
 };
 
 /// Every named scenario, in campaign order.

@@ -102,9 +102,9 @@ void group::build_stack(const view& v, std::uint64_t delivered) {
 
 void group::wire_recovery() {
   recovery::hooks rh;
-  rh.take_snapshot = [this] {
+  rh.take_snapshot = [this](node_id joiner) {
     DBSM_CHECK_MSG(xfer_.take_snapshot, "state transfer hooks not wired");
-    return xfer_.take_snapshot();
+    return xfer_.take_snapshot(joiner);
   };
   rh.install_snapshot = [this](util::shared_bytes blob) {
     DBSM_CHECK_MSG(xfer_.install_snapshot, "state transfer hooks not wired");
@@ -438,6 +438,14 @@ bool group::send_blocked() const { return rmcast_->blocked(); }
 
 std::uint64_t group::joins_served() const {
   return recovery_ ? recovery_->joins_served() : 0;
+}
+
+std::uint64_t group::join_snapshot_bytes() const {
+  return recovery_ ? recovery_->snapshot_bytes_donated() : 0;
+}
+
+std::uint64_t group::join_chunk_bytes() const {
+  return recovery_ ? recovery_->chunk_bytes_sent() : 0;
 }
 
 }  // namespace dbsm::gcs

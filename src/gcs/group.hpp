@@ -36,7 +36,10 @@ class group {
   /// joiner side installs a transferred one. Replayed deliveries go
   /// through the normal deliver callback.
   struct state_transfer_hooks {
-    std::function<util::shared_bytes()> take_snapshot;
+    /// Marshals donor state for `joiner` — under partial replication the
+    /// replica filters the database slice by the joiner's placement, so
+    /// the transfer (and its chunk count) shrinks with the degree.
+    std::function<util::shared_bytes(node_id joiner)> take_snapshot;
     std::function<void(util::shared_bytes)> install_snapshot;
   };
 
@@ -95,6 +98,10 @@ class group {
   bool send_blocked() const;
   /// Completed state transfers this node donated (recovery probe).
   std::uint64_t joins_served() const;
+  /// Snapshot blob bytes this node donated across join attempts.
+  std::uint64_t join_snapshot_bytes() const;
+  /// join_chunk payload bytes sent (retransmissions included).
+  std::uint64_t join_chunk_bytes() const;
 
  private:
   static constexpr std::uint8_t kind_user = 0;

@@ -45,8 +45,9 @@ void recovery::on_join_request(const join_request_msg& m) {
   // between deliveries (one handler job), so the blob captures exactly
   // the state after delivery `snap_pos`.
   d.snap_pos = hooks_.delivered();
-  d.blob = hooks_.take_snapshot();
+  d.blob = hooks_.take_snapshot(joiner);
   DBSM_CHECK(d.blob != nullptr);
+  snapshot_bytes_donated_ += d.blob->size();
   d.chunks = std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>((d.blob->size() + cfg_.join_chunk_bytes -
                                      1) /
@@ -76,6 +77,7 @@ void recovery::send_chunk(std::uint32_t idx) {
   m.chunk_cnt = donor_->chunks;
   m.payload = std::make_shared<const util::bytes>(donor_->blob->begin() + lo,
                                                   donor_->blob->begin() + hi);
+  chunk_bytes_sent_ += m.payload->size();
   hooks_.send(donor_->joiner, encode(m));
 }
 

@@ -42,8 +42,9 @@ class recovery {
   /// replica): state marshaling, delivery replay, membership control.
   struct hooks {
     /// Donor: marshal the application state at the current delivery
-    /// position (atomic — called between deliveries).
-    std::function<util::shared_bytes()> take_snapshot;
+    /// position (atomic — called between deliveries), filtered to what
+    /// `joiner` replicates (full replication ignores the argument).
+    std::function<util::shared_bytes(node_id joiner)> take_snapshot;
     /// Joiner: install a transferred snapshot.
     std::function<void(util::shared_bytes)> install_snapshot;
     /// Joiner: replay one forwarded delivery into the application.
@@ -94,6 +95,14 @@ class recovery {
   void on_view_installed(const view& v, std::uint64_t delivered);
   bool serving_join() const { return donor_.has_value(); }
   std::uint64_t joins_served() const { return joins_served_; }
+  /// Sum of snapshot blob sizes this node donated (one per served join
+  /// attempt) — under partial replication this is the placement-filtered
+  /// size, not the full database.
+  std::uint64_t snapshot_bytes_donated() const {
+    return snapshot_bytes_donated_;
+  }
+  /// join_chunk payload bytes actually sent, retransmissions included.
+  std::uint64_t chunk_bytes_sent() const { return chunk_bytes_sent_; }
 
  private:
   struct fwd_entry {
@@ -142,6 +151,8 @@ class recovery {
   std::optional<donor_state> donor_;
   csrt::timer_id donor_timer_ = 0;
   std::uint64_t joins_served_ = 0;
+  std::uint64_t snapshot_bytes_donated_ = 0;
+  std::uint64_t chunk_bytes_sent_ = 0;
 
   // Joiner side.
   bool joining_ = false;

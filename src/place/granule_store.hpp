@@ -1,0 +1,101 @@
+// Per-site granule store bookkeeping for partial replication.
+//
+// Two tiers, one structure:
+//
+//   * The DIRECTORY tracks every granule the delivered total order has
+//     ever written — update count, distinct written tuples, and the
+//     modeled data bytes those tuples hold. Every site maintains it for
+//     ALL granules (it is a deterministic function of the delivered
+//     commit stream, which certification already ships everywhere), so
+//     any snapshot donor can serialize any site's slice — in particular
+//     a joiner's granules the donor itself does not replicate.
+//   * The DURABLE view is the directory restricted to the granules the
+//     local placement assigns to this site: only those contribute to
+//     durable_bytes()/owned accounting, mirroring what the disk model
+//     actually wrote.
+//
+// The store is pure bookkeeping: apply() runs inside the delivery job but
+// never charges modeled CPU, schedules simulator work, or consumes
+// randomness, so runs with any placement remain bit-identical in
+// simulated behavior to runs without the store.
+//
+// snapshot_for(site) serializes the directory slice a joining `site`
+// replicates, followed by padding bytes equal to the slice's modeled data
+// size — the same convention the txn codec uses for written values
+// ("padding of the same total size", §3.3) — so recovery join_chunk
+// counts genuinely track the placement-filtered database size instead of
+// the full one.
+#ifndef DBSM_PLACE_GRANULE_STORE_HPP
+#define DBSM_PLACE_GRANULE_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "db/item.hpp"
+#include "place/placement.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace dbsm::place {
+
+class granule_store {
+ public:
+  granule_store() = default;
+  granule_store(placement p, unsigned self) : placement_(p), self_(self) {}
+
+  /// Applies one committed update's write set (granule markers and all) to
+  /// the directory; durable accounting moves only for granules this site
+  /// replicates. `update_bytes` is attributed evenly across the written
+  /// tuples; re-writing an existing tuple does not grow the data size
+  /// (the store models a materialized database, not a log).
+  void apply(const std::vector<db::item_id>& write_set,
+             std::uint32_t update_bytes);
+
+  // --- accounting ---
+  /// Modeled bytes of tuple data durably held at this site.
+  std::uint64_t durable_bytes() const { return durable_bytes_; }
+  /// Distinct tuples durably held at this site.
+  std::uint64_t durable_tuples() const { return durable_tuples_; }
+  /// Committed updates with at least one element stored at this site.
+  std::uint64_t applied_updates() const { return applied_updates_; }
+  /// Granules the directory tracks (all granules ever written).
+  std::uint64_t tracked_granules() const { return dir_.size(); }
+  /// Tracked granules this site replicates.
+  std::uint64_t owned_granules() const { return owned_granules_; }
+
+  /// Serializes the directory slice `for_site` replicates under this
+  /// store's placement, plus data-sized padding (see header).
+  void snapshot_for(util::buffer_writer& w, unsigned for_site) const;
+
+  /// Installs a transferred slice: entries replace same-granule directory
+  /// state wholesale; durable accounting is recomputed. Entries for
+  /// granules this site does not replicate are still installed into the
+  /// directory (they refresh the joiner's stale view of them).
+  void restore(util::buffer_reader& r);
+
+  const placement& get_placement() const { return placement_; }
+
+ private:
+  struct granule_state {
+    std::uint64_t updates = 0;     // committed updates that touched it
+    std::uint64_t data_bytes = 0;  // modeled materialized size
+    std::set<db::item_id> tuples;  // distinct written tuples (sorted)
+  };
+
+  void recount();
+
+  placement placement_;
+  unsigned self_ = 0;
+  std::map<db::item_id, granule_state> dir_;  // granule id -> state
+  std::uint64_t durable_bytes_ = 0;
+  std::uint64_t durable_tuples_ = 0;
+  std::uint64_t owned_granules_ = 0;
+  std::uint64_t applied_updates_ = 0;
+  /// Scratch: granules touched by the current apply (small, reused).
+  std::vector<db::item_id> touched_scratch_;
+};
+
+}  // namespace dbsm::place
+
+#endif  // DBSM_PLACE_GRANULE_STORE_HPP

@@ -1,0 +1,140 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dbsm::place {
+
+namespace {
+/// splitmix64 finalizer — the same deterministic mixing discipline the
+/// sharded certifier uses (never std::hash, whose layout may differ
+/// between standard libraries and would break cross-build determinism).
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+const char* strategy_name(strategy s) {
+  switch (s) {
+    case strategy::full: return "full";
+    case strategy::round_robin: return "rr";
+    case strategy::hashed: return "hash";
+  }
+  return "?";
+}
+
+placement placement::full(unsigned sites) {
+  return placement(strategy::full, sites, sites);
+}
+
+placement placement::round_robin(unsigned sites, unsigned degree) {
+  DBSM_CHECK(sites >= 1 && degree >= 1);
+  return placement(strategy::round_robin, sites, std::min(degree, sites));
+}
+
+placement placement::hashed(unsigned sites, unsigned degree) {
+  DBSM_CHECK(sites >= 1 && degree >= 1);
+  return placement(strategy::hashed, sites, std::min(degree, sites));
+}
+
+placement placement::make(const spec& s, unsigned sites) {
+  if (s.kind == strategy::full || s.degree == 0 || s.degree >= sites)
+    return full(sites);
+  if (s.kind == strategy::round_robin) return round_robin(sites, s.degree);
+  return hashed(sites, s.degree);
+}
+
+unsigned placement::base_of(db::item_id granule) const {
+  DBSM_CHECK(sites_ >= 1);
+  if (kind_ == strategy::round_robin) {
+    // Rotate by granule coordinates: consecutive granules (e.g. the KV
+    // workload's consecutive key buckets, or TPC-C's warehouses) land on
+    // consecutive bases, spreading any hot region across the ring.
+    const std::uint64_t coord = db::item_table(granule) +
+                                db::item_warehouse(granule) +
+                                db::item_district(granule);
+    return static_cast<unsigned>(coord % sites_);
+  }
+  return static_cast<unsigned>(mix(granule) % sites_);
+}
+
+unsigned placement::primary(db::item_id id) const {
+  if (is_full()) return 0;
+  return base_of(db::granule_of(id));
+}
+
+bool placement::stores(unsigned site, db::item_id id) const {
+  if (is_full()) return true;
+  const unsigned base = base_of(db::granule_of(id));
+  return (site + sites_ - base) % sites_ < degree_;
+}
+
+void placement::replica_set(db::item_id id,
+                            std::vector<unsigned>& out) const {
+  out.clear();
+  if (is_full()) {
+    for (unsigned s = 0; s < sites_; ++s) out.push_back(s);
+    return;
+  }
+  const unsigned base = base_of(db::granule_of(id));
+  for (unsigned k = 0; k < degree_; ++k)
+    out.push_back((base + k) % sites_);
+  std::sort(out.begin(), out.end());
+}
+
+void placement::slice(const std::vector<db::item_id>& write_set,
+                      unsigned site, std::vector<db::item_id>& out) const {
+  out.clear();
+  if (is_full()) {
+    out = write_set;
+    return;
+  }
+  out.reserve(write_set.size());
+  for (const db::item_id it : write_set)
+    if (stores(site, it)) out.push_back(it);
+}
+
+bool placement::interested(unsigned site,
+                           const std::vector<db::item_id>& ws) const {
+  if (is_full()) return true;
+  for (const db::item_id it : ws)
+    if (stores(site, it)) return true;
+  return false;
+}
+
+unsigned placement::interested_sites(
+    const std::vector<db::item_id>& ws) const {
+  if (is_full()) return sites_;
+  unsigned n = 0;
+  for (unsigned s = 0; s < sites_; ++s) n += interested(s, ws);
+  return n;
+}
+
+void placement::snapshot(util::buffer_writer& w) const {
+  w.put_u8(1);  // format version
+  w.put_u8(static_cast<std::uint8_t>(kind_));
+  w.put_u32(sites_);
+  w.put_u32(degree_);
+}
+
+placement placement::restore(util::buffer_reader& r) {
+  const std::uint8_t ver = r.get_u8();
+  DBSM_CHECK_MSG(ver == 1, "unknown placement snapshot version "
+                               << static_cast<int>(ver));
+  const auto kind = static_cast<strategy>(r.get_u8());
+  const unsigned sites = r.get_u32();
+  const unsigned degree = r.get_u32();
+  return placement(kind, sites, degree);
+}
+
+std::string placement::describe() const {
+  if (is_full()) return "full";
+  return std::string(strategy_name(kind_)) + " k=" +
+         std::to_string(degree_) + " of " + std::to_string(sites_);
+}
+
+}  // namespace dbsm::place

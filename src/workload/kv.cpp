@@ -1,5 +1,6 @@
 #include "workload/kv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -31,10 +32,13 @@ double zeta(std::uint64_t n, double theta) {
 
 class kv_source final : public core::txn_source {
  public:
-  kv_source(const kv_config& cfg, const zipf_sampler& zipf, util::rng gen)
-      : cfg_(cfg), zipf_(zipf), rng_(gen) {}
+  kv_source(const kv_config& cfg, const zipf_sampler& zipf,
+            const core::client_slot& slot, util::rng gen)
+      : cfg_(cfg), zipf_(zipf), slot_index_(slot.index),
+        total_clients_(std::max(1u, slot.total_clients)), rng_(gen) {}
 
   db::txn_request next(sim_time /*now*/) override {
+    ++generated_;  // one modeled insert per transaction: the frontier moves
     const double pick = rng_.uniform();
     db::txn_class cls = c_rmw;
     if (pick < cfg_.mix_read) {
@@ -51,8 +55,7 @@ class kv_source final : public core::txn_source {
     keys_.clear();
     keys_.reserve(ops);
     for (unsigned i = 0; i < ops; ++i)
-      keys_.push_back(
-          item_for_key(zipf_.sample(rng_), cfg_.keys_per_granule));
+      keys_.push_back(item_for_key(pick_key(), cfg_.keys_per_granule));
 
     db::txn_request req;
     req.cls = cls;
@@ -101,7 +104,7 @@ class kv_source final : public core::txn_source {
     db::txn_request req;
     req.cls = c_scan;
     const db::item_id hit =
-        item_for_key(zipf_.sample(rng_), cfg_.keys_per_granule);
+        item_for_key(pick_key(), cfg_.keys_per_granule);
     req.read_set = {db::granule_of(hit)};
     const std::uint32_t scanned =
         std::min<std::uint32_t>(cfg_.keys_per_granule, cfg_.keys);
@@ -134,8 +137,24 @@ class kv_source final : public core::txn_source {
     }
   }
 
+  /// Sample a key under the configured distribution. Zipfian: the rank is
+  /// the key. Latest: the rank is a backward offset from this source's
+  /// insert frontier — clients stripe the global append sequence by index
+  /// (client i's t-th transaction inserts key i + t*clients mod keyspace),
+  /// so the hot set trails the newest keys and drifts as the run proceeds.
+  std::uint64_t pick_key() {
+    const std::uint64_t rank = zipf_.sample(rng_);
+    if (cfg_.dist != key_dist::latest) return rank;
+    const std::uint64_t frontier =
+        (slot_index_ + generated_ * total_clients_) % cfg_.keys;
+    return (frontier + cfg_.keys - rank % cfg_.keys) % cfg_.keys;
+  }
+
   const kv_config& cfg_;
   const zipf_sampler& zipf_;
+  std::uint64_t slot_index_ = 0;
+  std::uint64_t total_clients_ = 1;
+  std::uint64_t generated_ = 0;  // transactions produced = modeled inserts
   util::rng rng_;
   std::vector<db::item_id> keys_;  // per-source scratch
 };
@@ -211,9 +230,9 @@ void kv_workload::prepare(unsigned /*sites*/, unsigned /*clients*/,
 }
 
 std::unique_ptr<core::txn_source> kv_workload::make_source(
-    const core::client_slot& /*slot*/, util::rng gen) {
+    const core::client_slot& slot, util::rng gen) {
   DBSM_CHECK(zipf_ != nullptr);  // prepare() must have run
-  return std::make_unique<kv_source>(cfg_, *zipf_, gen);
+  return std::make_unique<kv_source>(cfg_, *zipf_, slot, gen);
 }
 
 core::workload_factory factory(kv_config cfg) {

@@ -48,9 +48,25 @@ class zipf_sampler {
   double rank1_cut_;  // 1 + 0.5^theta
 };
 
+/// Key-popularity shapes (YCSB's request distributions).
+enum class key_dist {
+  /// Stationary Zipfian over key rank: key 0 is forever the hottest.
+  zipfian,
+  /// YCSB-D "latest": popularity follows an advancing insert frontier —
+  /// the Zipfian offset is taken *behind* the most recently inserted key,
+  /// so the hot set drifts through the keyspace as clients append. Each
+  /// source advances a private frontier deterministically (its client
+  /// index striped by the client count, modeling a global append sequence
+  /// without cross-client coordination), keeping runs reproducible.
+  latest,
+};
+
 struct kv_config {
   std::uint32_t keys = 100000;  // flat keyspace size
   double zipf_theta = 0.99;     // skew; 0 = uniform, must be < 1
+
+  /// Which key-popularity distribution drives key choice.
+  key_dist dist = key_dist::zipfian;
 
   /// Scan granularity: consecutive keys per granule. Scans read one
   /// granule (the escalation of a key-range read, §3.3) and writes

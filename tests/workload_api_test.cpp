@@ -167,5 +167,96 @@ TEST(workload_api, kv_zipf_skew_raises_cert_abort_rate) {
   EXPECT_GT(high_aborts, 2 * low_aborts + 10);
 }
 
+// ---------- the "latest" (YCSB-D) key distribution ----------
+
+kv::kv_config latest_config() {
+  kv::kv_config k;
+  k.keys = 2000;
+  k.keys_per_granule = 16;
+  k.zipf_theta = 0.99;
+  k.dist = kv::key_dist::latest;
+  k.mix_read = 0.0;  // all blind updates: every request carries its keys
+  k.mix_update = 1.0;
+  k.mix_scan = 0.0;
+  return k;
+}
+
+std::uint64_t key_of(db::item_id it, std::uint32_t keys_per_granule) {
+  return static_cast<std::uint64_t>(db::item_warehouse(it)) *
+             keys_per_granule +
+         db::item_row(it);
+}
+
+/// Median key sampled from transactions [lo, hi) of a fresh source.
+std::uint64_t median_key(const kv::kv_config& k, unsigned lo, unsigned hi) {
+  kv::kv_workload wl(k);
+  util::rng root(5);
+  wl.prepare(1, 1, root);
+  core::client_slot slot;
+  slot.site = 0;
+  slot.index = 0;
+  slot.total_clients = 1;
+  auto src = wl.make_source(slot, root.fork("latest"));
+  std::vector<std::uint64_t> keys;
+  for (unsigned t = 0; t < hi; ++t) {
+    const auto req = src->next(0);
+    if (t < lo) continue;
+    for (const db::item_id it : req.write_set)
+      if (!db::is_granule(it)) keys.push_back(key_of(it, k.keys_per_granule));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys[keys.size() / 2];
+}
+
+TEST(kv_latest, hot_set_trails_the_insert_frontier_and_drifts) {
+  const kv::kv_config k = latest_config();
+  // With one client the t-th transaction's frontier is key t: the sampled
+  // keys cluster a short Zipf offset behind it, so the median tracks the
+  // frontier as the run proceeds — unlike the stationary Zipfian, whose
+  // hot set is forever the low ranks.
+  const std::uint64_t early = median_key(k, 300, 400);
+  const std::uint64_t late = median_key(k, 1300, 1400);
+  EXPECT_GT(early, 100u);         // not the stationary low-rank hot set
+  EXPECT_LT(early, 450u);         // but trailing the ~[300,400) frontier
+  EXPECT_GT(late, early + 500);   // and drifting with it
+  EXPECT_LT(late, 1450u);
+
+  kv::kv_config stationary = latest_config();
+  stationary.dist = kv::key_dist::zipfian;
+  EXPECT_LT(median_key(stationary, 1300, 1400), 200u);
+}
+
+TEST(kv_latest, deterministic_and_runs_through_generic_path) {
+  // Same seed, same slot: identical request streams (the frontier is a
+  // pure function of the slot and the per-source transaction count).
+  const kv::kv_config k = latest_config();
+  for (int rep = 0; rep < 2; ++rep) {
+    kv::kv_workload a(k), b(k);
+    util::rng ra(9), rb(9);
+    a.prepare(2, 4, ra);
+    b.prepare(2, 4, rb);
+    core::client_slot slot;
+    slot.site = 1;
+    slot.index = 3;
+    slot.total_clients = 4;
+    auto sa = a.make_source(slot, ra.fork("x"));
+    auto sb = b.make_source(slot, rb.fork("x"));
+    for (unsigned t = 0; t < 40; ++t)
+      EXPECT_EQ(sa->next(0).write_set, sb->next(0).write_set);
+  }
+  // And end-to-end: the latest distribution runs through run_experiment
+  // with intact class plumbing.
+  auto cfg = small_config();
+  cfg.target_responses = 300;
+  kv::kv_config mix = latest_config();
+  mix.mix_read = 0.40;
+  mix.mix_update = 0.30;
+  mix.mix_scan = 0.10;
+  mix.think_time = util::exponential_dist(0.5);
+  cfg.workload = kv::factory(mix);
+  const auto r = core::run_experiment(cfg);
+  check_conformance(r, "kv", kv::num_classes);
+}
+
 }  // namespace
 }  // namespace dbsm
