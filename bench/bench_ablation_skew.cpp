@@ -25,15 +25,27 @@ int main(int argc, char** argv) {
   flags.declare("keys", "20000", "keyspace size");
   flags.declare("granule", "128", "keys per scan granule");
   flags.declare("dist", "zipfian",
-                "key distribution: zipfian (stationary) or latest "
-                "(YCSB-D drifting hot set)");
+                "key distribution: zipfian (stationary), latest "
+                "(YCSB-D drifting hot set), or scrambled (Zipf "
+                "frequencies, bit-mixed key placement)");
+  flags.declare("mix", "custom",
+                "operation mix: custom (30/30/25 default), a (YCSB-A "
+                "50/50), b (YCSB-B 95/5), or c (YCSB-C pure reads)");
   flags.declare("json", "", "optional JSON baseline output path");
   if (!flags.parse(argc, argv)) return 1;
 
   const std::string dist_name = flags.get_string("dist");
-  if (dist_name != "zipfian" && dist_name != "latest") {
-    std::fprintf(stderr, "unknown --dist '%s' (zipfian|latest)\n",
+  if (dist_name != "zipfian" && dist_name != "latest" &&
+      dist_name != "scrambled") {
+    std::fprintf(stderr, "unknown --dist '%s' (zipfian|latest|scrambled)\n",
                  dist_name.c_str());
+    return 1;
+  }
+  const std::string mix_name = flags.get_string("mix");
+  if (mix_name != "custom" && mix_name != "a" && mix_name != "b" &&
+      mix_name != "c") {
+    std::fprintf(stderr, "unknown --mix '%s' (custom|a|b|c)\n",
+                 mix_name.c_str());
     return 1;
   }
 
@@ -50,6 +62,7 @@ int main(int argc, char** argv) {
                       "preempt_pct", "lock_pct", "abort_pct"});
   std::string json = "{\n  \"benchmark\": \"kv_zipf_skew_sweep\",\n"
                      "  \"dist\": \"" + dist_name + "\",\n"
+                     "  \"mix\": \"" + mix_name + "\",\n"
                      "  \"points\": [\n";
 
   for (std::size_t i = 0; i < thetas.size(); ++i) {
@@ -65,11 +78,16 @@ int main(int argc, char** argv) {
     k.keys_per_granule =
         static_cast<std::uint32_t>(flags.get_int("granule"));
     k.zipf_theta = theta;
-    k.dist = dist_name == "latest" ? kv::key_dist::latest
-                                   : kv::key_dist::zipfian;
+    k.dist = dist_name == "latest"      ? kv::key_dist::latest
+             : dist_name == "scrambled" ? kv::key_dist::scrambled
+                                        : kv::key_dist::zipfian;
     k.mix_read = 0.30;
     k.mix_update = 0.30;
     k.mix_scan = 0.25;
+    k.preset = mix_name == "a"   ? kv::mix::ycsb_a
+               : mix_name == "b" ? kv::mix::ycsb_b
+               : mix_name == "c" ? kv::mix::ycsb_c
+                                 : kv::mix::custom;
     k.think_time = util::exponential_dist(0.5);
     cfg.workload = kv::factory(k);
 

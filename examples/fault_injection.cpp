@@ -28,8 +28,22 @@ int main(int argc, char** argv) {
   flags.declare("seed", "7", "random seed");
   flags.declare("scenario", "campaign",
                 "scenario name, 'campaign' (default set), or 'all'");
+  flags.declare("read-path", "off",
+                "read-only termination: off (paper §5.1 local "
+                "certification), certified (broadcast), or fast (read/ "
+                "lease snapshots; prints per-site read counters)");
   flags.declare("list", "false", "list available scenarios and exit");
   if (!flags.parse(argc, argv)) return 1;
+
+  const std::string rp = flags.get_string("read-path");
+  if (rp != "off" && rp != "certified" && rp != "fast") {
+    std::fprintf(stderr, "unknown --read-path '%s' (off|certified|fast)\n",
+                 rp.c_str());
+    return 1;
+  }
+  const read::mode read_mode = rp == "fast"        ? read::mode::fast
+                               : rp == "certified" ? read::mode::certified
+                                                   : read::mode::off;
 
   if (flags.get_bool("list")) {
     std::printf("Available scenarios:\n");
@@ -69,6 +83,7 @@ int main(int argc, char** argv) {
     cfg.seed = flags.get_u64("seed");
     cfg.faults = e->make(prm);
     cfg.enable_recovery = e->needs_recovery;
+    cfg.replica_cfg.read.path = read_mode;
     if (e->placement_degree > 0)
       cfg.placement = {place::strategy::round_robin, e->placement_degree};
     std::fprintf(stderr, "[fault_injection] %s ...\n", e->name);
@@ -102,6 +117,19 @@ int main(int argc, char** argv) {
            util::fmt(static_cast<std::int64_t>(r.rejoined_sites())),
            !r.safety.ok || !r.checks.ok ? "VIOLATED"
                                         : (ok ? "ok" : "NO REJOIN")});
+    // Per-site read-path accounting, meaningful only when the read path
+    // is on (the default table stays untouched otherwise).
+    if (read_mode != read::mode::off) {
+      for (std::size_t i = 0; i < r.sites.size(); ++i) {
+        const auto& s = r.sites[i];
+        std::printf("    site %zu: %llu fast, %llu fallback, %llu RO "
+                    "broadcasts, %llu lease revocations\n",
+                    i, static_cast<unsigned long long>(s.fast_path_reads),
+                    static_cast<unsigned long long>(s.fallback_reads),
+                    static_cast<unsigned long long>(s.ro_broadcasts),
+                    static_cast<unsigned long long>(s.lease_revocations));
+      }
+    }
   }
   std::printf("%s", t.to_string().c_str());
   std::printf("\n%s\n", all_safe

@@ -82,6 +82,28 @@ bool sharded_certifier::certify_update(
                  "snapshot " << begin_pos << " is in the future of "
                              << position_);
   ++position_;
+  // Zero-set short-circuit: with nothing to probe or install, no shard can
+  // produce a verdict and the decision is the global pre-window rule alone
+  // — so skip the fork-join (and its modeled fork cost) entirely. The
+  // eviction rings still drain serially and the (empty) entry still enters
+  // the history, so index contents and drain positions stay identical to
+  // the long path.
+  if (read_set.empty() && write_set.empty()) {
+    for (auto& s : shards_) s.drain(cfg_.evict_drain_per_delivery);
+    last_cost_ = cfg_.cost_fixed;
+    if (begin_pos + 1 < oldest_retained_) {
+      ++aborts_;
+      return false;
+    }
+    ++commits_;
+    history_.push_back(cert_entry{position_, {}});
+    while (history_.size() > cfg_.history_window) {
+      oldest_retained_ = history_.front().pos + 1;
+      queue_evicted(std::move(history_.front()));
+      history_.pop_front();
+    }
+    return true;
+  }
   partition(read_set, read_slices_);
   partition(write_set, write_slices_);
   // The conservative pre-window rule is global (positions only) and must
@@ -116,6 +138,12 @@ bool sharded_certifier::certify_update(
 
 bool sharded_certifier::certify_read_only(
     std::uint64_t begin_pos, const std::vector<db::item_id>& read_set) const {
+  // Zero-set short-circuit (see certify_update): an empty read set can
+  // only fail the global pre-window rule, so no shard is consulted.
+  if (read_set.empty()) {
+    last_cost_ = cfg_.cost_fixed;
+    return !(begin_pos + 1 < oldest_retained_);
+  }
   bool conflict = begin_pos + 1 < oldest_retained_;
   partition(read_set, read_slices_);
   fork_join([&](std::size_t s) {

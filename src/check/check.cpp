@@ -38,6 +38,10 @@ std::unique_ptr<checker> checker::standard(config cfg, unsigned sites,
   if (!placement.is_full()) {
     c->add(std::make_unique<placement_monitor>(placement));
   }
+  // The read-snapshot monitor is always registered: it sees zero read
+  // events unless the fast read path is configured, and its decision/view
+  // bookkeeping is silent.
+  c->add(std::make_unique<read_snapshot_monitor>());
   return c;
 }
 
@@ -83,6 +87,12 @@ void checker::rejoined(const rejoin_event& e) {
   if (halted_) return;
   ++report_.rejoins_checked;
   for (auto& m : monitors_) m->on_rejoin(e, *this);
+}
+
+void checker::read(const read_event& e) {
+  if (halted_) return;
+  ++report_.reads_checked;
+  for (auto& m : monitors_) m->on_read(e, *this);
 }
 
 void checker::run_end(sim_time now) {

@@ -77,6 +77,7 @@ struct report {
   std::uint64_t views_checked = 0;
   std::uint64_t log_resets_checked = 0;
   std::uint64_t rejoins_checked = 0;
+  std::uint64_t reads_checked = 0;
   /// One line: "ok (...)" or the first violation.
   std::string summary() const;
 };
@@ -143,6 +144,21 @@ struct rejoin_event {
   sim_time at = 0;
 };
 
+/// A read-only transaction terminated on the read path (read/). For a
+/// fast-path read the event claims the committed-prefix snapshot it was
+/// served at — (agreed epoch, commit-log length, last committed txn id) —
+/// which the read_snapshot monitor cross-checks against the reference
+/// agreed order. Fallback reads (fast == false) terminate through the
+/// certified path and carry no claim.
+struct read_event {
+  unsigned site = 0;
+  bool fast = false;
+  std::uint64_t epoch = 0;
+  std::uint64_t log_len = 0;
+  std::uint64_t last_commit_id = 0;
+  sim_time at = 0;
+};
+
 // --- the monitor contract --------------------------------------------
 
 /// Violation sink handed to every monitor callback.
@@ -167,6 +183,7 @@ class monitor {
   virtual void on_log_reset(const log_reset_event&, sink&) {}
   virtual void on_recovery_start(const recovery_start_event&, sink&) {}
   virtual void on_rejoin(const rejoin_event&, sink&) {}
+  virtual void on_read(const read_event&, sink&) {}
   /// Fired once when the run stops (for deadline-style invariants).
   virtual void on_run_end(sim_time /*now*/, sink&) {}
 };
@@ -203,6 +220,7 @@ class checker final : public sink {
   void log_reset(const log_reset_event& e);
   void recovery_started(const recovery_start_event& e);
   void rejoined(const rejoin_event& e);
+  void read(const read_event& e);
   void run_end(sim_time now);
 
   void raise(violation v) override;

@@ -183,6 +183,47 @@ class placement_monitor final : public monitor {
   std::vector<db::item_id> expected_;          // recomputation scratch
 };
 
+/// (7) Read-snapshot 1SR (local read fast path): every fast-path read's
+/// claimed snapshot — (commit-log length, last committed txn id) — must be
+/// a prefix of the reference agreed order, both at the instant of the read
+/// and retroactively: the monitor keeps its own copy of the agreed order
+/// (same branch/rollback rules as the agreed-prefix monitor, silently),
+/// and re-validates each site's strongest outstanding claim at every later
+/// view install and at run end, so a read served off an orphan branch that
+/// is only rolled back later is still caught. Claimed prefixes must also
+/// be monotone per site (a site may never serve an older snapshot than one
+/// it already served — reads would travel back in time).
+class read_snapshot_monitor final : public monitor {
+ public:
+  std::string_view name() const override { return "read_snapshot"; }
+  void on_decision(const decision_event& e, sink& s) override;
+  void on_view(const view_event& e, sink& s) override;
+  void on_read(const read_event& e, sink& s) override;
+  void on_run_end(sim_time now, sink& s) override;
+
+ private:
+  struct entry {
+    std::uint64_t txn_id = 0;
+    std::uint64_t committers = 0;
+  };
+  struct claim {
+    std::uint64_t log_len = 0;
+    std::uint64_t last_commit_id = 0;
+    sim_time at = 0;
+  };
+  /// Claim vs the agreed order; empty string when consistent.
+  std::string check_claim(const claim& c) const;
+
+  std::vector<entry> agreed_;
+  std::vector<node_id> members_;  // latest primary view (empty: all sites)
+  std::uint32_t top_id_ = 1;
+  std::uint64_t commit_cut_ = 0;
+  std::map<unsigned, std::uint64_t> log_len_;  // site -> last log length
+  /// Per site, the strongest (longest-prefix) claim since the last
+  /// revalidation — monotonicity makes it subsume the weaker ones.
+  std::map<unsigned, claim> claims_;
+};
+
 }  // namespace dbsm::check
 
 #endif  // DBSM_CHECK_MONITORS_HPP

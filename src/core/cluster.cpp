@@ -108,7 +108,14 @@ void cluster::build_site_stack(unsigned i, bool joining,
         status_[i] == site_status::rejoined) {
       status_[i] = site_status::excluded;
     }
+    replicas_[i]->revoke_lease(read::revoke_reason::exclusion);
     if (obs_.on_excluded) obs_.on_excluded(i);
+  });
+  // Lease protocol wiring (no-ops unless the fast read path is on): a
+  // local suspicion suspends the site's lease until connectivity is
+  // proven again; every view install re-grants it.
+  groups_[i]->set_suspicion_handler([this, i](node_id) {
+    replicas_[i]->revoke_lease(read::revoke_reason::suspicion);
   });
   wire_observer(i);
   if (joining) {
@@ -144,16 +151,28 @@ void cluster::wire_observer(unsigned i) {
           obs_.on_log_reset(i, log);
         });
   }
-  if (obs_.on_view) {
-    groups_[i]->set_view_handler([this, i](const gcs::view& v) {
-      obs_.on_view(i, v, groups_[i]->delivered_count());
-    });
+  // Always wired: every view install re-grants the site's read lease
+  // (the agreed cut is uniform by flush consensus). The observer hook
+  // rides along when set.
+  groups_[i]->set_view_handler([this, i](const gcs::view& v) {
+    replicas_[i]->grant_lease(v.id);
+    if (obs_.on_view) obs_.on_view(i, v, groups_[i]->delivered_count());
+  });
+  if (obs_.on_read) {
+    replicas_[i]->set_read_observer(
+        [this, i](bool fast, std::uint64_t epoch, std::uint64_t log_len,
+                  std::uint64_t last_commit_id) {
+          obs_.on_read(i, fast, epoch, log_len, last_commit_id);
+        });
   }
 }
 
 void cluster::start() {
   for (auto& r : replicas_) r->start();
   for (auto& g : groups_) g->start();
+  // The initial view (id 1) installs silently inside group construction —
+  // no view callback fires — so the initial leases are granted here.
+  for (auto& r : replicas_) r->grant_lease(1);
 }
 
 void cluster::crash_site(unsigned i) {

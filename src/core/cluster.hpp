@@ -122,6 +122,12 @@ class cluster {
     std::function<void(unsigned site)> on_recovery_start;
     /// `site` is live again in the merged view with `log_len` committed.
     std::function<void(unsigned site, std::uint64_t log_len)> on_rejoined;
+    /// Read-only transaction terminated on the read path at `site` (see
+    /// replica::set_read_observer): fast == true claims the snapshot
+    /// (epoch, log_len, last_commit_id) the read was served at.
+    std::function<void(unsigned site, bool fast, std::uint64_t epoch,
+                       std::uint64_t log_len, std::uint64_t last_commit_id)>
+        on_read;
   };
   void set_observer(observer obs);
 

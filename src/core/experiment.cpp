@@ -168,6 +168,11 @@ experiment_result run_experiment(const experiment_config& cfg) {
     obs.on_rejoined = [ck, &c](unsigned site, std::uint64_t len) {
       ck->rejoined({site, len, c.sim().now()});
     };
+    obs.on_read = [ck, &c](unsigned site, bool fast, std::uint64_t epoch,
+                           std::uint64_t log_len,
+                           std::uint64_t last_commit_id) {
+      ck->read({site, fast, epoch, log_len, last_commit_id, c.sim().now()});
+    };
     c.set_observer(std::move(obs));
   }
 
@@ -217,6 +222,10 @@ experiment_result run_experiment(const experiment_config& cfg) {
     sr.interested_payload_bytes = c.site(i).interested_payload_bytes();
     sr.join_snapshot_bytes = c.group(i).join_snapshot_bytes();
     sr.join_chunk_bytes = c.group(i).join_chunk_bytes();
+    sr.fast_path_reads = c.site(i).fast_path_reads();
+    sr.fallback_reads = c.site(i).fallback_reads();
+    sr.ro_broadcasts = c.site(i).ro_broadcasts();
+    sr.lease_revocations = c.site(i).lease_revocations();
     result.sites.push_back(sr);
 
     site_log_input in;

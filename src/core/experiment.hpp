@@ -117,6 +117,18 @@ struct site_report {
   /// join_chunk payload bytes it sent (placement-filtered when partial).
   std::uint64_t join_snapshot_bytes = 0;
   std::uint64_t join_chunk_bytes = 0;
+
+  // Read-path accounting (read/): zeros unless replica_cfg.read.path is
+  // certified or fast.
+  /// Read-only transactions served locally off the uniform snapshot.
+  std::uint64_t fast_path_reads = 0;
+  /// Read-only transactions that fell back to the certified (broadcast)
+  /// path — stale lease or a read set this site does not replicate.
+  std::uint64_t fallback_reads = 0;
+  /// Read-only payloads this site pushed through the total order.
+  std::uint64_t ro_broadcasts = 0;
+  /// Lease revocations observed (view change, suspicion, exclusion).
+  std::uint64_t lease_revocations = 0;
 };
 
 struct experiment_result {

@@ -59,7 +59,39 @@ void replica::install_snapshot(util::shared_bytes blob) {
                        << cfg_.placement.describe());
     store_.restore(r);
   }
+  // The transferred log replaces the recorded snapshot history wholesale;
+  // rebase at epoch 0 so any watermark resolves to at least this state.
+  snapshots_.reset({0, cert_.position(), commit_log_.size(),
+                    commit_log_.empty() ? 0 : commit_log_.back()});
   if (on_log_reset_) on_log_reset_(commit_log_);
+}
+
+void replica::grant_lease(std::uint32_t view_id) {
+  if (cfg_.read.path != read::mode::fast) return;
+  lease_.grant(view_id);
+}
+
+void replica::revoke_lease(read::revoke_reason r) {
+  if (cfg_.read.path != read::mode::fast) return;
+  if (r == read::revoke_reason::suspicion && !lease_.suspended())
+    suspend_watermark_ = group_.uniform_delivered();
+  lease_.revoke(r);
+}
+
+bool replica::lease_usable() {
+  if (lease_.valid()) return true;
+  if (lease_.suspended() &&
+      group_.uniform_delivered() > suspend_watermark_)
+    lease_.on_uniform_advance();
+  return lease_.valid();
+}
+
+bool replica::stores_read_set(
+    const std::vector<db::item_id>& read_set) const {
+  if (cfg_.placement.is_full()) return true;
+  for (const db::item_id item : read_set)
+    if (!cfg_.placement.stores(env_.self(), item)) return false;
+  return true;
 }
 
 void replica::start() {
@@ -104,21 +136,63 @@ void replica::on_executed(const db::txn_request& req) {
   const std::uint64_t id = req.id;
 
   if (req.read_only()) {
-    // Read-only transactions terminate locally (§5.1: replication leaves
-    // their latency unaffected): certify against the local last-writer
-    // index — O(|read_set|) probes, charged via last_cost().
-    env_.post([this, id, begin_pos, read_set = req.read_set] {
-      env_.charge(cfg_.codec_cost_fixed);
-      const bool ok = cert_.certify_read_only(begin_pos, read_set);
-      env_.charge(cert_.last_cost());
-      env_.call_out([this, id, ok] {
-        if (!server_.active(id)) return;
-        if (ok) {
-          server_.finish_commit(id);
-        } else {
-          server_.finish_abort(id);
-        }
+    if (cfg_.read.path == read::mode::off) {
+      // Read-only transactions terminate locally (§5.1: replication leaves
+      // their latency unaffected): certify against the local last-writer
+      // index — O(|read_set|) probes, charged via last_cost().
+      env_.post([this, id, begin_pos, read_set = req.read_set] {
+        env_.charge(cfg_.codec_cost_fixed);
+        const bool ok = cert_.certify_read_only(begin_pos, read_set);
+        env_.charge(cert_.last_cost());
+        env_.call_out([this, id, ok] {
+          if (!server_.active(id)) return;
+          if (ok) {
+            server_.finish_commit(id);
+          } else {
+            server_.finish_abort(id);
+          }
+        });
       });
+      return;
+    }
+    if (cfg_.read.path == read::mode::fast && lease_usable() &&
+        stores_read_set(req.read_set)) {
+      // Fast path: serve the read AT the agreed (uniform) epoch — the
+      // newest committed-prefix version every current member is
+      // guaranteed to hold, which can never be rolled back within the
+      // view. No certification, no broadcast; the read is serializable at
+      // that snapshot point (1SR requires consistency, not freshness).
+      env_.post([this, id] {
+        env_.charge(cfg_.read.fast_read_cost);
+        const read::snapshot snap =
+            snapshots_.at(group_.uniform_delivered());
+        ++fast_path_reads_;
+        if (on_read_)
+          on_read_(true, snap.epoch, snap.log_len, snap.last_commit_id);
+        env_.call_out([this, id] {
+          if (!server_.active(id)) return;
+          server_.finish_commit(id);
+        });
+      });
+      return;
+    }
+    // Certified baseline (read::mode::certified), or a fast-path fallback
+    // on a stale lease / placement-interest miss: broadcast the
+    // empty-write-set payload through the total order and certify at its
+    // delivery point on the origin (all other sites skip it entirely).
+    if (cfg_.read.path == read::mode::fast) {
+      ++fallback_reads_;
+      if (on_read_) on_read_(false, 0, 0, 0);
+    }
+    it->second.in_termination = true;
+    const cert::txn_payload ro_payload = cert::make_payload(req, begin_pos);
+    env_.post([this, id, payload = std::move(ro_payload)] {
+      util::shared_bytes wire = cert::encode_txn(payload);
+      env_.charge(codec_cost(wire->size()));
+      ++ro_broadcasts_;
+      auto pit = pending_.find(id);
+      if (pit != pending_.end()) pit->second.multicast_at = env_.now();
+      group_.broadcast(std::move(wire));
     });
     return;
   }
@@ -147,7 +221,7 @@ std::pair<std::size_t, std::size_t> replica::owned_tuple_split(
   return {owned, total};
 }
 
-void replica::on_deliver(node_id, std::uint64_t,
+void replica::on_deliver(node_id, std::uint64_t global_seq,
                          util::shared_bytes payload) {
   if (halted_) return;
   // Runs as real code in the delivery job: unmarshal and certify against
@@ -156,6 +230,33 @@ void replica::on_deliver(node_id, std::uint64_t,
   // reference merge scan at every replica and at every shard count).
   env_.charge(codec_cost(payload->size()));
   const cert::txn_payload txn = cert::decode_txn(payload);
+
+  if (txn.write_set.empty()) {
+    // Read-only broadcast (read::mode::certified, or a fast-path
+    // fallback). Every site pays delivery + decode, but the decision is
+    // local to the origin: no update-order position, no commit-log entry,
+    // no apply — certification state is untouched by an empty write set.
+    delivered_payload_bytes_ += payload->size();
+    if (txn.origin == env_.self() &&
+        txn_counter(txn.id) > incarnation_floor_) {
+      const bool ok = cert_.certify_read_only(txn.begin_pos, txn.read_set);
+      env_.charge(cert_.last_cost());
+      env_.call_out([this, id = txn.id, ok] {
+        if (halted_) return;
+        auto it = pending_.find(id);
+        if (it != pending_.end() && it->second.multicast_at != 0)
+          cert_latency_.add(to_millis(sim_.now() - it->second.multicast_at));
+        if (!server_.active(id)) return;
+        if (ok) {
+          server_.finish_commit(id);
+        } else {
+          server_.finish_abort(id);
+        }
+      });
+    }
+    return;
+  }
+
   const bool commit =
       cert_.certify_update(txn.begin_pos, txn.read_set, txn.write_set);
   env_.charge(cert_.last_cost());
@@ -164,6 +265,12 @@ void replica::on_deliver(node_id, std::uint64_t,
   if (on_decision_) {
     on_decision_(txn, pos, commit, commit_log_.size());
   }
+  // Version the committed prefix for the fast read path: the snapshot at
+  // this delivery's global sequence (pure bookkeeping, gated so the other
+  // modes carry no memory cost).
+  if (cfg_.read.path == read::mode::fast)
+    snapshots_.note_delivery(global_seq, pos, commit_log_.size(),
+                             commit_log_.empty() ? 0 : commit_log_.back());
 
   // Placement bookkeeping (pure — no modeled time, no randomness, so the
   // full-placement default stays simulation-identical): account the

@@ -26,6 +26,8 @@
 #include "gcs/group.hpp"
 #include "place/granule_store.hpp"
 #include "place/placement.hpp"
+#include "read/lease.hpp"
+#include "read/snapshot_manager.hpp"
 #include "util/stats.hpp"
 
 namespace dbsm::core {
@@ -49,6 +51,13 @@ class replica {
     /// default (full) placement keeps every path bit-identical to full
     /// replication.
     place::placement placement;
+
+    /// Read-only termination path (read/): off (historical local
+    /// certification), certified (RO txns broadcast through total order —
+    /// the all-certified baseline), or fast (lease-guarded snapshot reads
+    /// at the gcs uniform watermark, zero broadcasts). Default off keeps
+    /// every path bit-identical to the historical behavior.
+    read::read_config read;
   };
 
   /// `first_local_txn` seeds the local transaction counter: a replica
@@ -135,6 +144,28 @@ class replica {
       std::uint64_t durable_bytes)>;
   void set_apply_observer(apply_observer fn) { on_apply_ = std::move(fn); }
 
+  /// Fired for every read-only transaction terminated on the read path
+  /// (read::mode::fast): fast == true for lease-guarded local snapshot
+  /// reads, with the snapshot's (agreed epoch, committed log length, last
+  /// committed txn id) — the read_snapshot monitor cross-checks this claim
+  /// against the reference committed prefix. Observers must be passive.
+  using read_observer = std::function<void(
+      bool fast, std::uint64_t epoch, std::uint64_t log_len,
+      std::uint64_t last_commit_id)>;
+  void set_read_observer(read_observer fn) { on_read_ = std::move(fn); }
+
+  /// Lease protocol entry points (wired by the cluster): a grant at every
+  /// view install (and at cluster start), revocations on suspicion and
+  /// exclusion. No-ops unless the fast read path is configured.
+  void grant_lease(std::uint32_t view_id);
+  void revoke_lease(read::revoke_reason r);
+
+  // --- read-path probes ---
+  std::uint64_t fast_path_reads() const { return fast_path_reads_; }
+  std::uint64_t fallback_reads() const { return fallback_reads_; }
+  std::uint64_t ro_broadcasts() const { return ro_broadcasts_; }
+  std::uint64_t lease_revocations() const { return lease_.revocations(); }
+
   /// Placement bookkeeping: granule directory + durable accounting.
   const place::granule_store& store() const { return store_; }
   /// Total ordered user payload bytes delivered at this site.
@@ -159,6 +190,14 @@ class replica {
   void on_deliver(node_id sender, std::uint64_t global_seq,
                   util::shared_bytes payload);
   sim_duration codec_cost(std::size_t bytes) const;
+  /// Lease check for a fast read, with the lazy suspension re-arm: a
+  /// suspicion-suspended lease recovers once the uniform watermark has
+  /// advanced past its value at suspension time (a completed stability
+  /// round proves full-membership connectivity).
+  bool lease_usable();
+  /// Whether this site replicates every granule the read set touches
+  /// (always true under full placement).
+  bool stores_read_set(const std::vector<db::item_id>& read_set) const;
   /// (owned non-granule tuples, total non-granule tuples) of a write set
   /// under this site's placement — the pro-rating basis for partial
   /// durability.
@@ -191,6 +230,13 @@ class replica {
   decision_observer on_decision_;
   log_reset_observer on_log_reset_;
   apply_observer on_apply_;
+  read_observer on_read_;
+  read::lease lease_;
+  read::snapshot_manager snapshots_;
+  std::uint64_t suspend_watermark_ = 0;
+  std::uint64_t fast_path_reads_ = 0;
+  std::uint64_t fallback_reads_ = 0;
+  std::uint64_t ro_broadcasts_ = 0;
   place::granule_store store_;
   /// Reused per-delivery buffer for placement slices.
   std::vector<db::item_id> slice_scratch_;

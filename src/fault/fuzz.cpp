@@ -8,6 +8,7 @@
 #include "core/experiment.hpp"
 #include "fault/fault_types.hpp"
 #include "util/rng.hpp"
+#include "workload/kv.hpp"
 
 namespace dbsm::fault::fuzz {
 
@@ -260,6 +261,12 @@ run_result run_spec(const scenario_spec& spec, const config& cfg) {
   ec.enable_recovery = cfg.allow_recovery || spec.needs_recovery();
   ec.gcs.unsafe_no_primary_partition = cfg.break_primary_partition;
   ec.checks = cfg.checks;
+  if (cfg.read_fast_path) {
+    kv::kv_config k;
+    k.preset = kv::mix::ycsb_b;
+    ec.workload = kv::factory(k);
+    ec.replica_cfg.read.path = read::mode::fast;
+  }
 
   const core::experiment_result res = core::run_experiment(ec);
   run_result out;

@@ -96,6 +96,12 @@ struct config {
   /// rule (gcs::group_config::unsafe_no_primary_partition) so the
   /// monitors have a real split-brain to catch.
   bool break_primary_partition = false;
+  /// Drive each run with a read-heavy KV mix (YCSB-B) and the read/ fast
+  /// path enabled, racing fuzzed fault timelines against lease revocation
+  /// under the read_snapshot monitor. Only run_spec() consults it, so
+  /// generated timelines for a given (seed, cfg) are unchanged and
+  /// existing corpus seeds stay byte-identical when it is off.
+  bool read_fast_path = false;
   /// Monitor configuration for each run.
   check::config checks;
   /// Maximum experiment re-runs shrink() may spend.

@@ -126,6 +126,44 @@ scenario partial_k2_crash_rejoin(const params& p) {
   return s;
 }
 
+scenario partition_lease_window(const params& p) {
+  DBSM_CHECK(p.sites >= 3);
+  const unsigned victim = p.sites - 1;
+  scenario s("partition_lease_window");
+  // Three short blips, each under the suspicion timeout: no failure
+  // detector fires and no view changes, so the victim's lease stays held
+  // while each cut freezes its uniform watermark mid-stream — fast reads
+  // keep serving the frozen (still agreed) snapshot and must resume
+  // advancing after each heal. The race is lease validity vs watermark
+  // staleness, checked read-by-read by the read_snapshot monitor.
+  for (int k = 0; k < 3; ++k) {
+    const sim_time start = p.onset + k * (4 * p.exclusion_timeout);
+    s.add(std::make_shared<partition_fault>(site_set{victim}), start,
+          start + p.exclusion_timeout / 2);
+  }
+  return s;
+}
+
+scenario rejoin_stale_reads(const params& p) {
+  DBSM_CHECK(p.sites >= 3);
+  const unsigned victim = p.sites - 1;
+  scenario s("rejoin_stale_reads");
+  // The partition_cut_heal_rejoin shape with a post-rejoin blip: the
+  // victim rides out a full cut (snapshot frozen at its last uniform
+  // watermark while the majority commits on), rejoins through state
+  // transfer, then is briefly cut again — the read path must fall back
+  // during both windows and never serve the stale pre-rejoin snapshot as
+  // current.
+  const sim_time heal = p.onset + 4 * p.exclusion_timeout;
+  s.add(std::make_shared<partition_fault>(site_set{victim}), p.onset, heal);
+  s.add(std::make_shared<recover_fault>(site_selector{site_set{victim}}),
+        heal + seconds(1));
+  const sim_time blip = heal + seconds(8);
+  s.add(std::make_shared<partition_fault>(site_set{victim}), blip,
+        blip + p.exclusion_timeout / 2);
+  return s;
+}
+
 const std::vector<catalog_entry>& catalog() {
   static const std::vector<catalog_entry> entries = {
       {"no_faults", "fault-free baseline", 1, true, &no_faults, false},
@@ -155,6 +193,12 @@ const std::vector<catalog_entry>& catalog() {
       {"partial_k2_crash_rejoin",
        "k=2 placement: crash last site, placement-filtered rejoin", 4,
        false, &partial_k2_crash_rejoin, true, 2},
+      {"partition_lease_window",
+       "sub-exclusion partition blips during the read-lease window", 3,
+       false, &partition_lease_window, false},
+      {"rejoin_stale_reads",
+       "cut/heal/rejoin, then a blip: stale snapshot must not serve", 3,
+       false, &rejoin_stale_reads, true},
   };
   return entries;
 }

@@ -71,6 +71,20 @@ scenario rolling_restarts(const params& p = {});
 /// is a strict subset while a majority survives the crash.
 scenario partial_k2_crash_rejoin(const params& p = {});
 
+// --- read-path (lease) scenarios: exercise the read/ fast path's
+// --- revocation races; meaningful with replica_cfg.read.path = fast ---
+/// Three partition blips of the last site, each shorter than the
+/// suspicion timeout: no view change fires, so the victim's lease stays
+/// held while each cut freezes its uniform watermark — fast reads must
+/// keep serving the frozen (still agreed) snapshot and resume advancing
+/// after each heal.
+scenario partition_lease_window(const params& p = {});
+/// Full cut (suspicion revokes the victim's lease, the majority's view
+/// change re-grants theirs), heal, rejoin via state transfer, then a
+/// post-rejoin blip: the victim's pre-cut snapshot must never serve as
+/// current. Requires membership recovery.
+scenario rejoin_stale_reads(const params& p = {});
+
 struct catalog_entry {
   const char* name;
   const char* description;

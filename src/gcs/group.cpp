@@ -98,6 +98,36 @@ void group::build_stack(const view& v, std::uint64_t delivered) {
   order_->set_sequencer(v.sequencer());
 
   stability_ = std::make_unique<stability_tracker>(v.members, env_.self());
+  reset_uniform();
+}
+
+void group::reset_uniform() {
+  // A view install (or stack rebuild) makes the agreed cut itself uniform:
+  // the flush consensus guarantees every member of the new view delivered
+  // exactly this prefix. Samples of the old streams are meaningless
+  // against the new stability vector, so the ring restarts empty.
+  uniform_ring_.clear();
+  uniform_ = order_ ? order_->delivered() : 0;
+}
+
+void group::advance_uniform() {
+  const std::vector<std::uint64_t>& stable = stability_->stable();
+  while (!uniform_ring_.empty()) {
+    const uniform_sample& s = uniform_ring_.front();
+    if (s.prefixes.size() != stable.size()) {
+      uniform_ring_.pop_front();  // sampled against an older member list
+      continue;
+    }
+    bool covered = true;
+    for (std::size_t i = 0; i < stable.size(); ++i)
+      if (stable[i] < s.prefixes[i]) {
+        covered = false;
+        break;
+      }
+    if (!covered) break;
+    if (s.delivered > uniform_) uniform_ = s.delivered;
+    uniform_ring_.pop_front();
+  }
 }
 
 void group::wire_recovery() {
@@ -252,8 +282,10 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
       // Only merge gossip from the same view (vector layout must match).
       if (m.hdr.view_id == membership_->current().id &&
           m.stable.size() == stability_->members().size()) {
-        if (stability_->merge(m))
+        if (stability_->merge(m)) {
           rmcast_->collect_garbage(stability_->stable());
+          advance_uniform();
+        }
       }
       break;
     }
@@ -306,6 +338,10 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
 void group::stability_tick() {
   if (stopped_) return;
   stability_->set_local_prefixes(rmcast_->prefixes());
+  // Snapshot (delivered, prefixes) for the uniform watermark: once a
+  // future stability round covers these prefixes at every member, the
+  // deliveries counted here are agreed.
+  uniform_ring_.push_back({order_->delivered(), rmcast_->prefixes()});
   const stab_msg gossip =
       stability_->make_gossip(membership_->current().id);
   env_.multicast(encode(gossip));
@@ -321,7 +357,10 @@ void group::heartbeat_tick() {
   env_.multicast(encode(hb));
   // Failure detection shares the heartbeat cadence.
   fd_->tick(env_.now());
-  for (node_id s : fd_->suspects(env_.now())) membership_->suspect(s);
+  for (node_id s : fd_->suspects(env_.now())) {
+    membership_->suspect(s);
+    if (suspicion_cb_) suspicion_cb_(s);
+  }
   hb_timer_ =
       env_.set_timer(cfg_.heartbeat_period, [this] { heartbeat_tick(); });
 }
@@ -391,6 +430,7 @@ void group::do_install(const view& v,
   }
   stability_ = std::make_unique<stability_tracker>(v.members, env_.self(),
                                                    stable_init);
+  reset_uniform();
   rmcast_->collect_garbage(stable_init);
   fd_->reset(v.members, env_.now());
   rmcast_->resume_sending();

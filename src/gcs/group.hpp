@@ -9,6 +9,7 @@
 #ifndef DBSM_GCS_GROUP_HPP
 #define DBSM_GCS_GROUP_HPP
 
+#include <deque>
 #include <memory>
 
 #include "csrt/env.hpp"
@@ -60,6 +61,11 @@ class group {
   void set_excluded_handler(std::function<void()> fn) {
     excluded_cb_ = std::move(fn);
   }
+  /// Fires whenever the local failure detector starts suspecting a member
+  /// (may fire repeatedly for the same suspect while it stays silent).
+  void set_suspicion_handler(std::function<void(node_id)> fn) {
+    suspicion_cb_ = std::move(fn);
+  }
 
   /// Boots the protocol stack (registers the datagram handler, arms the
   /// gossip/heartbeat timers, installs the initial view).
@@ -94,6 +100,13 @@ class group {
   std::uint64_t stability_rounds() const;
   std::uint64_t view_changes() const;
   std::uint64_t delivered_count() const;
+  /// Agreed (uniform) delivery watermark: the count of totally ordered
+  /// deliveries whose underlying datagrams fall within the all-members
+  /// gossip-stable prefix. Every current member holds them, so within a
+  /// view they can never be rolled back — a partitioned minority cannot
+  /// complete a stability round, so its watermark freezes at partition
+  /// onset. Resets to the agreed cut at every view install.
+  std::uint64_t uniform_delivered() const { return uniform_; }
   std::size_t quota_used() const;
   bool send_blocked() const;
   /// Completed state transfers this node donated (recovery probe).
@@ -126,12 +139,26 @@ class group {
   static util::shared_bytes wrap(std::uint8_t kind,
                                  const util::shared_bytes& payload);
 
+  /// One gossip-period sample: how far total order had delivered when the
+  /// local contiguously-received prefixes stood at `prefixes`. Once the
+  /// all-members stable vector dominates `prefixes`, every delivery up to
+  /// `delivered` is agreed (assignments travel in the sequencer's own
+  /// stream, so a stable prefix implies deliverability everywhere).
+  struct uniform_sample {
+    std::uint64_t delivered = 0;
+    std::vector<std::uint64_t> prefixes;
+  };
+
+  void reset_uniform();
+  void advance_uniform();
+
   csrt::env& env_;
   group_config cfg_;
   deliver_fn deliver_;
   view_fn view_cb_;
   view_fn joined_cb_;
   std::function<void()> excluded_cb_;
+  std::function<void(node_id)> suspicion_cb_;
   state_transfer_hooks xfer_;
 
   std::unique_ptr<reliable_mcast> rmcast_;
@@ -140,6 +167,9 @@ class group {
   std::unique_ptr<failure_detector> fd_;
   std::unique_ptr<membership> membership_;
   std::unique_ptr<recovery> recovery_;
+
+  std::deque<uniform_sample> uniform_ring_;
+  std::uint64_t uniform_ = 0;
 
   bool started_ = false;
   bool stopped_ = false;

@@ -144,10 +144,27 @@ class kv_source final : public core::txn_source {
   /// so the hot set trails the newest keys and drifts as the run proceeds.
   std::uint64_t pick_key() {
     const std::uint64_t rank = zipf_.sample(rng_);
-    if (cfg_.dist != key_dist::latest) return rank;
-    const std::uint64_t frontier =
-        (slot_index_ + generated_ * total_clients_) % cfg_.keys;
-    return (frontier + cfg_.keys - rank % cfg_.keys) % cfg_.keys;
+    switch (cfg_.dist) {
+      case key_dist::latest: {
+        const std::uint64_t frontier =
+            (slot_index_ + generated_ * total_clients_) % cfg_.keys;
+        return (frontier + cfg_.keys - rank % cfg_.keys) % cfg_.keys;
+      }
+      case key_dist::scrambled: {
+        // splitmix64 finalizer (the certifier's shard mix): same Zipf
+        // frequency profile, hot keys scattered over the keyspace.
+        std::uint64_t x = rank;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ull;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebull;
+        x ^= x >> 31;
+        return x % cfg_.keys;
+      }
+      case key_dist::zipfian:
+        break;
+    }
+    return rank;
   }
 
   const kv_config& cfg_;
@@ -199,6 +216,25 @@ std::uint64_t zipf_sampler::sample(util::rng& gen) const {
 }
 
 kv_workload::kv_workload(kv_config cfg) : cfg_(std::move(cfg)) {
+  switch (cfg_.preset) {
+    case mix::custom:
+      break;
+    case mix::ycsb_a:
+      cfg_.mix_read = 0.50;
+      cfg_.mix_update = 0.50;
+      cfg_.mix_scan = 0.0;
+      break;
+    case mix::ycsb_b:
+      cfg_.mix_read = 0.95;
+      cfg_.mix_update = 0.05;
+      cfg_.mix_scan = 0.0;
+      break;
+    case mix::ycsb_c:
+      cfg_.mix_read = 1.0;
+      cfg_.mix_update = 0.0;
+      cfg_.mix_scan = 0.0;
+      break;
+  }
   DBSM_CHECK(cfg_.keys >= 1);
   DBSM_CHECK(cfg_.keys_per_granule >= 1);
   DBSM_CHECK(cfg_.min_ops >= 1 && cfg_.min_ops <= cfg_.max_ops);

@@ -59,6 +59,22 @@ enum class key_dist {
   /// index striped by the client count, modeling a global append sequence
   /// without cross-client coordination), keeping runs reproducible.
   latest,
+  /// YCSB's scrambled Zipfian: the Zipf rank is bit-mixed (splitmix64
+  /// finalizer) before mapping into the keyspace, so access frequency
+  /// keeps the Zipf shape but the hot keys scatter uniformly over the id
+  /// space instead of clustering at rank 0 — adjacent-granule correlation
+  /// (and thus scan/placement locality artifacts) disappears.
+  scrambled,
+};
+
+/// Standard YCSB operation-mix presets. A preset overwrites mix_read /
+/// mix_update / mix_scan (the remainder stays read-modify-write as
+/// always); `custom` leaves the hand-set mix alone.
+enum class mix {
+  custom,
+  ycsb_a,  // 50% read / 50% update — the update-heavy contention case
+  ycsb_b,  // 95% read /  5% update — read-mostly
+  ycsb_c,  // 100% read            — the pure fast-path case
 };
 
 struct kv_config {
@@ -80,6 +96,10 @@ struct kv_config {
   double mix_read = 0.45;
   double mix_update = 0.30;
   double mix_scan = 0.10;
+
+  /// Optional standard mix preset, applied over the three fields above at
+  /// workload construction (kv::mix::custom keeps them).
+  mix preset = mix::custom;
 
   /// Keys touched per transaction, uniform in [min_ops, max_ops].
   unsigned min_ops = 4;

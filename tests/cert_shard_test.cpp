@@ -281,6 +281,69 @@ TEST(cert_shard_differential, modeled_cost_parallel_term_scales) {
                     static_cast<sim_duration>(ws.size() / 4));
 }
 
+TEST(cert_shard_zero_sets, short_circuit_keeps_decisions_and_state) {
+  // Zero-set transactions (an empty-read-set RO probe, or an empty
+  // update payload occupying a total-order slot) skip the fork-join
+  // entirely — the decision is the global pre-window rule alone. The
+  // short-circuit must be invisible in decisions, counters, history,
+  // index contents, and serialized state; only the modeled cost drops
+  // (no fork term). Interleave zero-set and real transactions against
+  // the oracle at several grid points to prove it.
+  for (const grid_point& p : grid()) {
+    cert_config cfg;
+    cfg.history_window = 32;
+    certifier oracle(cfg);
+    sharded_certifier sharded(with_sharding(cfg, p));
+    util::rng g(4242);
+    for (int i = 0; i < 800; ++i) {
+      const std::uint64_t pos = oracle.position();
+      const std::uint64_t begin =
+          pos - std::min<std::uint64_t>(
+                    pos, static_cast<std::uint64_t>(g.uniform_int(0, 50)));
+      const int shape = static_cast<int>(g.uniform_int(0, 3));
+      if (shape == 0) {
+        // Empty read set on the read-only path.
+        ASSERT_EQ(sharded.certify_read_only(begin, {}),
+                  oracle.certify_read_only(begin, {}));
+        ASSERT_EQ(sharded.last_cost(), cfg.cost_fixed);
+      } else if (shape == 1) {
+        // Both sets empty on the update path: consumes a position, can
+        // only abort on the pre-window rule.
+        ASSERT_EQ(sharded.certify_update(begin, {}, {}),
+                  oracle.certify_update(begin, {}, {}));
+        ASSERT_EQ(sharded.last_cost(), cfg.cost_fixed);
+      } else {
+        std::vector<item_id> rs, ws;
+        const auto n = static_cast<std::uint64_t>(g.uniform_int(0, 120));
+        rs.push_back(tup(n));
+        ws.push_back(tup(n + 1));
+        normalize(rs);
+        normalize(ws);
+        ASSERT_EQ(sharded.certify_update(begin, rs, ws),
+                  oracle.certify_update(begin, rs, ws));
+      }
+      ASSERT_EQ(sharded.position(), oracle.position());
+      ASSERT_EQ(sharded.commits(), oracle.commits());
+      ASSERT_EQ(sharded.aborts(), oracle.aborts());
+      ASSERT_EQ(sharded.history_size(), oracle.history_size());
+      ASSERT_EQ(sharded.oldest_retained(), oracle.oldest_retained());
+      if (p.shards == 1)
+        ASSERT_EQ(sharded.index_size(), oracle.index_size());
+    }
+    EXPECT_GT(oracle.aborts(), 0u);  // pre-window aborts actually hit
+    // At 1 shard / 1 thread the serialized state stays byte-identical
+    // through the short-circuit path too.
+    if (p.shards == 1 && p.threads == 1) {
+      util::buffer_writer wo, ws_;
+      oracle.snapshot(wo);
+      sharded.snapshot(ws_);
+      const auto a = wo.take();
+      const auto b = ws_.take();
+      ASSERT_EQ(*a, *b);
+    }
+  }
+}
+
 TEST(thread_pool, runs_every_task_exactly_once_across_runs) {
   util::thread_pool pool(4);
   EXPECT_EQ(pool.width(), 4u);
