@@ -76,8 +76,19 @@ struct cert_config {
   /// sharded certifier actually forks (certify_threads > 1 on more than
   /// one shard) — the fixed price of the parallel term. The per-element
   /// term then follows the critical path: the fork worker whose shard
-  /// range holds the most probed elements.
-  sim_duration cost_fork_join = microseconds(2);
+  /// range holds the most probed elements. Calibrated against the
+  /// persistent-pool fork/join price bench_ablation_cert_shards measures
+  /// at probe-light set sizes (2.1-3.6 us across the shard sweep; see
+  /// bench/BENCH_cert_shards.json); tests/cert_shard_test.cpp pins the
+  /// modeled-vs-real ratio. Never charged at the defaults (1 thread), so
+  /// every historical figure and anchor is unaffected.
+  sim_duration cost_fork_join = nanoseconds(2500);
+  /// Fixed modeled cost of a certification *amortized over a delivery
+  /// batch* (gcs batch mode): the first certification of a batch pays the
+  /// full cost_fixed (cache-cold entry into the cert path), the rest pay
+  /// only this — the PR 5 modeled-cost extended with the batching
+  /// amortization term. Decisions are unaffected; only charged CPU is.
+  sim_duration cost_batch_fixed = microseconds(2);
   /// Optional override of the sharded certifier's id -> shard map, e.g.
   /// to align certification shards with a data placement (the shard that
   /// probes a granule is derived from the granule's primary replica, so

@@ -56,7 +56,7 @@ bool sharded_certifier::merge_verdicts() const {
   return false;
 }
 
-sim_duration sharded_certifier::modeled_cost() const {
+sim_duration sharded_certifier::modeled_cost(bool amortized_fixed) const {
   // Critical path of the fork-join: the chunk of shards whose slices hold
   // the most elements. One worker degenerates to the set-linear model of
   // cert::certifier (total element count, no fork term).
@@ -69,7 +69,7 @@ sim_duration sharded_certifier::modeled_cost() const {
     worst = std::max(worst, elems);
   }
   sim_duration cost =
-      cfg_.cost_fixed +
+      (amortized_fixed ? cfg_.cost_batch_fixed : cfg_.cost_fixed) +
       cfg_.cost_per_element * static_cast<sim_duration>(worst);
   if (workers_ > 1) cost += cfg_.cost_fork_join;
   return cost;
@@ -77,7 +77,7 @@ sim_duration sharded_certifier::modeled_cost() const {
 
 bool sharded_certifier::certify_update(
     std::uint64_t begin_pos, const std::vector<db::item_id>& read_set,
-    const std::vector<db::item_id>& write_set) {
+    const std::vector<db::item_id>& write_set, bool amortized_fixed) {
   DBSM_CHECK_MSG(begin_pos <= position_,
                  "snapshot " << begin_pos << " is in the future of "
                              << position_);
@@ -90,7 +90,7 @@ bool sharded_certifier::certify_update(
   // the long path.
   if (read_set.empty() && write_set.empty()) {
     for (auto& s : shards_) s.drain(cfg_.evict_drain_per_delivery);
-    last_cost_ = cfg_.cost_fixed;
+    last_cost_ = amortized_fixed ? cfg_.cost_batch_fixed : cfg_.cost_fixed;
     if (begin_pos + 1 < oldest_retained_) {
       ++aborts_;
       return false;
@@ -118,7 +118,7 @@ bool sharded_certifier::certify_update(
         (!pre_window && shards_[s].conflicts(begin_pos, rs, &ws)) ? 1 : 0;
   });
   const bool conflict = pre_window || merge_verdicts();
-  last_cost_ = modeled_cost();
+  last_cost_ = modeled_cost(amortized_fixed);
   if (conflict) {
     ++aborts_;
     return false;
@@ -153,7 +153,7 @@ bool sharded_certifier::certify_read_only(
         (!conflict && shards_[s].conflicts(begin_pos, rs, nullptr)) ? 1 : 0;
   });
   conflict = conflict || merge_verdicts();
-  last_cost_ = modeled_cost();
+  last_cost_ = modeled_cost(/*amortized_fixed=*/false);
   return !conflict;
 }
 

@@ -60,10 +60,14 @@ class sharded_certifier {
 
   /// Certifies an update transaction at the next delivery position.
   /// Returns true to commit (its write set then enters the history and
-  /// the per-shard last-writer indexes).
+  /// the per-shard last-writer indexes). `amortized_fixed` switches the
+  /// modeled fixed term to cert_config::cost_batch_fixed — set by the
+  /// batched delivery path for every certification after a batch's first.
+  /// It changes charged CPU only, never the decision.
   bool certify_update(std::uint64_t begin_pos,
                       const std::vector<db::item_id>& read_set,
-                      const std::vector<db::item_id>& write_set);
+                      const std::vector<db::item_id>& write_set,
+                      bool amortized_fixed = false);
 
   /// Certifies a read-only transaction against the current position
   /// without consuming one (read-only transactions terminate locally).
@@ -140,7 +144,8 @@ class sharded_certifier {
 
   /// Modeled cost of the last certification from the per-shard element
   /// counts in shard_elems_ (fork-join critical path; see header).
-  sim_duration modeled_cost() const;
+  /// `amortized_fixed` substitutes cost_batch_fixed for cost_fixed.
+  sim_duration modeled_cost(bool amortized_fixed) const;
 
   /// Queues an entry that slid out of the window onto the owning shards'
   /// eviction rings — one partition pass. `install` additionally replays

@@ -191,6 +191,16 @@ void primary_partition_monitor::on_excluded(const excluded_event& e, sink&) {
   excluded_.try_emplace(e.site, e.at);
 }
 
+void primary_partition_monitor::on_recovery_start(
+    const recovery_start_event& e, sink&) {
+  // A recovering site replays the primary partition's agreed stream
+  // (state-transfer forwards) before the merged view installs, so its
+  // commits are the majority's progress, not a second partition's — and
+  // the agreed-prefix and certification-oracle monitors still check each
+  // replayed commit element-wise. Lift the fence at the hand-off.
+  excluded_.erase(e.site);
+}
+
 void primary_partition_monitor::on_decision(const decision_event& e, sink& s) {
   if (!e.commit || e.site >= cur_.size()) return;
   // The exclusion fence. Before a site *learns* of its exclusion it may

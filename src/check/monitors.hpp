@@ -86,6 +86,7 @@ class primary_partition_monitor final : public monitor {
   void on_view(const view_event& e, sink& s) override;
   void on_excluded(const excluded_event& e, sink& s) override;
   void on_decision(const decision_event& e, sink& s) override;
+  void on_recovery_start(const recovery_start_event& e, sink& s) override;
 
  private:
   struct site_view {

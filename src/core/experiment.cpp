@@ -226,6 +226,9 @@ experiment_result run_experiment(const experiment_config& cfg) {
     sr.fallback_reads = c.site(i).fallback_reads();
     sr.ro_broadcasts = c.site(i).ro_broadcasts();
     sr.lease_revocations = c.site(i).lease_revocations();
+    sr.delivery_runs = c.site(i).delivery_runs();
+    sr.run_payloads = c.site(i).run_payloads();
+    sr.pipeline_high_water = c.site(i).pipeline_high_water();
     result.sites.push_back(sr);
 
     site_log_input in;

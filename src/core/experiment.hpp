@@ -129,6 +129,15 @@ struct site_report {
   std::uint64_t ro_broadcasts = 0;
   /// Lease revocations observed (view change, suspicion, exclusion).
   std::uint64_t lease_revocations = 0;
+
+  // Batched-delivery accounting (zeros on the serial gcs path).
+  /// Contiguous delivery runs handed to the pipelined commit path;
+  /// run_payloads / delivery_runs is the mean run length the batching
+  /// amortization actually saw.
+  std::uint64_t delivery_runs = 0;
+  std::uint64_t run_payloads = 0;
+  /// Peak certified-but-not-installed backlog in the hand-off queue.
+  std::uint64_t pipeline_high_water = 0;
 };
 
 struct experiment_result {

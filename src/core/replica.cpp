@@ -26,7 +26,7 @@ replica::replica(sim::simulator& sim, csrt::cpu_pool& cpu,
       server_(sim, cpu, cfg.server, gen.fork("server")),
       cert_(cfg.cert), rng_(gen.fork("replica")),
       next_local_txn_(first_local_txn), incarnation_floor_(first_local_txn),
-      store_(cfg.placement, env.self()) {}
+      store_(cfg.placement, env.self()), pipeline_(cfg.pipeline_depth) {}
 
 util::shared_bytes replica::snapshot(node_id for_site) const {
   util::buffer_writer w;
@@ -95,6 +95,12 @@ bool replica::stores_read_set(
 }
 
 void replica::start() {
+  if (group_.batching()) {
+    group_.set_deliver_batch([this](std::vector<gcs::delivery>&& run) {
+      on_deliver_batch(std::move(run));
+    });
+    return;
+  }
   group_.set_deliver([this](node_id sender, std::uint64_t seq,
                             util::shared_bytes payload) {
     on_deliver(sender, seq, std::move(payload));
@@ -102,8 +108,11 @@ void replica::start() {
 }
 
 sim_duration replica::codec_cost(std::size_t bytes) const {
-  return cfg_.codec_cost_fixed +
-         static_cast<sim_duration>(cfg_.codec_cost_per_byte_ns *
+  return cfg_.codec_cost_fixed + codec_cost_bytes(bytes);
+}
+
+sim_duration replica::codec_cost_bytes(std::size_t bytes) const {
+  return static_cast<sim_duration>(cfg_.codec_cost_per_byte_ns *
                                    static_cast<double>(bytes));
 }
 
@@ -242,16 +251,7 @@ void replica::on_deliver(node_id, std::uint64_t global_seq,
       const bool ok = cert_.certify_read_only(txn.begin_pos, txn.read_set);
       env_.charge(cert_.last_cost());
       env_.call_out([this, id = txn.id, ok] {
-        if (halted_) return;
-        auto it = pending_.find(id);
-        if (it != pending_.end() && it->second.multicast_at != 0)
-          cert_latency_.add(to_millis(sim_.now() - it->second.multicast_at));
-        if (!server_.active(id)) return;
-        if (ok) {
-          server_.finish_commit(id);
-        } else {
-          server_.finish_abort(id);
-        }
+        finish_certified_read(id, ok);
       });
     }
     return;
@@ -288,7 +288,26 @@ void replica::on_deliver(node_id, std::uint64_t global_seq,
   }
 
   env_.call_out([this, txn = std::move(txn), commit] {
-    if (halted_) return;
+    install_decision(txn, commit);
+  });
+}
+
+void replica::finish_certified_read(std::uint64_t id, bool ok) {
+  if (halted_) return;
+  auto it = pending_.find(id);
+  if (it != pending_.end() && it->second.multicast_at != 0)
+    cert_latency_.add(to_millis(sim_.now() - it->second.multicast_at));
+  if (!server_.active(id)) return;
+  if (ok) {
+    server_.finish_commit(id);
+  } else {
+    server_.finish_abort(id);
+  }
+}
+
+void replica::install_decision(const cert::txn_payload& txn, bool commit) {
+  if (halted_) return;
+  {
     const std::size_t sector = cfg_.server.storage.sector_bytes;
     // Transactions of a previous incarnation of this site (issued before a
     // crash/restart, delivered or replayed after) have no pending entry to
@@ -374,7 +393,83 @@ void replica::on_deliver(node_id, std::uint64_t global_seq,
       applied_update_bytes_ += db::server::disk_write_bytes(req, sector);
       server_.apply_remote(req, {});
     }
+  }
+}
+
+void replica::drain_installs() {
+  if (halted_) return;
+  pipeline_.drain([this](commit_pipeline::item& it) {
+    if (it.read_only) {
+      finish_certified_read(it.txn.id, it.commit);
+    } else {
+      install_decision(it.txn, it.commit);
+    }
   });
+}
+
+void replica::on_deliver_batch(std::vector<gcs::delivery>&& run) {
+  if (halted_ || run.empty()) return;
+  // Stage 1 — certify the whole run back-to-back against the sharded
+  // index. Per-payload state transitions (decisions, commit log,
+  // observers, placement accounting) are exactly the serial path's, in
+  // the same delivery order — only the charged CPU is amortized: the
+  // fixed unmarshal cost once per run, and every update certification
+  // after the first pays cert_config::cost_batch_fixed instead of
+  // cost_fixed. Certified work is handed to pipeline_ instead of getting
+  // one deferred job each.
+  env_.charge(cfg_.codec_cost_fixed);
+  ++delivery_runs_;
+  run_payloads_ += run.size();
+  bool first_cert = true;
+  for (gcs::delivery& d : run) {
+    env_.charge(codec_cost_bytes(d.payload->size()));
+    cert::txn_payload txn = cert::decode_txn(d.payload);
+
+    if (txn.write_set.empty()) {
+      // Read-only broadcast: decision local to the origin (see
+      // on_deliver). Its finish keeps its delivery-order slot by queuing
+      // through the pipeline like an install.
+      delivered_payload_bytes_ += d.payload->size();
+      if (txn.origin == env_.self() &&
+          txn_counter(txn.id) > incarnation_floor_) {
+        const bool ok =
+            cert_.certify_read_only(txn.begin_pos, txn.read_set);
+        env_.charge(cert_.last_cost());
+        if (pipeline_.full()) drain_installs();
+        pipeline_.push({std::move(txn), ok, /*read_only=*/true});
+      }
+      continue;
+    }
+
+    const bool commit = cert_.certify_update(
+        txn.begin_pos, txn.read_set, txn.write_set,
+        /*amortized_fixed=*/!first_cert);
+    first_cert = false;
+    env_.charge(cert_.last_cost());
+    const std::uint64_t pos = cert_.position();
+    if (commit) commit_log_.push_back(txn.id);
+    if (on_decision_) on_decision_(txn, pos, commit, commit_log_.size());
+    if (cfg_.read.path == read::mode::fast)
+      snapshots_.note_delivery(d.global_seq, pos, commit_log_.size(),
+                               commit_log_.empty() ? 0 : commit_log_.back());
+    delivered_payload_bytes_ += d.payload->size();
+    if (cfg_.placement.interested(env_.self(), txn.write_set))
+      interested_payload_bytes_ += d.payload->size();
+    if (commit) {
+      store_.apply(txn.write_set, txn.update_bytes);
+      if (on_apply_) {
+        cfg_.placement.slice(txn.write_set, env_.self(), slice_scratch_);
+        on_apply_(txn, pos, slice_scratch_, store_.durable_bytes());
+      }
+    }
+    // Bounded hand-off: a full queue drains synchronously first
+    // (deterministic back-pressure), then the push succeeds.
+    if (pipeline_.full()) drain_installs();
+    pipeline_.push({std::move(txn), commit, /*read_only=*/false});
+  }
+  // Stage 2 — the installs of this run drain in a deferred job, so the
+  // next run's probes (another stage-1 frame) overlap batch n's installs.
+  env_.call_out([this] { drain_installs(); });
 }
 
 }  // namespace dbsm::core

@@ -21,6 +21,7 @@
 
 #include "cert/sharded_certifier.hpp"
 #include "cert/txn_codec.hpp"
+#include "core/pipeline.hpp"
 #include "csrt/sim_env.hpp"
 #include "db/server.hpp"
 #include "gcs/group.hpp"
@@ -58,6 +59,13 @@ class replica {
     /// at the gcs uniform watermark, zero broadcasts). Default off keeps
     /// every path bit-identical to the historical behavior.
     read::read_config read;
+
+    /// Bound (in transactions) of the certify→install hand-off queue of
+    /// the batched delivery path (gcs batch_max > 1): when full, the
+    /// install stage drains synchronously before more certifications
+    /// queue behind it — deterministic back-pressure, never dropped or
+    /// reordered work. Irrelevant on the serial path.
+    std::size_t pipeline_depth = 512;
   };
 
   /// `first_local_txn` seeds the local transaction counter: a replica
@@ -166,6 +174,17 @@ class replica {
   std::uint64_t ro_broadcasts() const { return ro_broadcasts_; }
   std::uint64_t lease_revocations() const { return lease_.revocations(); }
 
+  // --- batched-delivery probes (zero on the serial path) ---
+  /// Contiguous delivery runs handed to the pipelined path.
+  std::uint64_t delivery_runs() const { return delivery_runs_; }
+  /// Payloads delivered inside those runs (run_payloads / delivery_runs
+  /// == the mean run length the amortization actually saw).
+  std::uint64_t run_payloads() const { return run_payloads_; }
+  /// Peak certified-but-not-installed backlog in the hand-off queue.
+  std::uint64_t pipeline_high_water() const {
+    return pipeline_.high_water();
+  }
+
   /// Placement bookkeeping: granule directory + durable accounting.
   const place::granule_store& store() const { return store_; }
   /// Total ordered user payload bytes delivered at this site.
@@ -189,7 +208,21 @@ class replica {
   void on_executed(const db::txn_request& req);
   void on_deliver(node_id sender, std::uint64_t global_seq,
                   util::shared_bytes payload);
+  /// Batched delivery (gcs batch mode): stage 1 certifies the whole run
+  /// back-to-back with amortized fixed costs, stage 2 drains the installs
+  /// from a deferred job through pipeline_.
+  void on_deliver_batch(std::vector<gcs::delivery>&& run);
+  /// Install stage of one certified update (the body of the serial
+  /// path's deferred job): origin finish/abort with disk accounting, or
+  /// remote apply with the placement slice.
+  void install_decision(const cert::txn_payload& txn, bool commit);
+  /// Completion of a certified read-only broadcast at its origin.
+  void finish_certified_read(std::uint64_t id, bool ok);
+  void drain_installs();
   sim_duration codec_cost(std::size_t bytes) const;
+  /// Per-byte share of codec_cost (the batched path charges the fixed
+  /// share once per run).
+  sim_duration codec_cost_bytes(std::size_t bytes) const;
   /// Lease check for a fast read, with the lazy suspension re-arm: a
   /// suspicion-suspended lease recovers once the uniform watermark has
   /// advanced past its value at suspension time (a completed stability
@@ -238,8 +271,12 @@ class replica {
   std::uint64_t fallback_reads_ = 0;
   std::uint64_t ro_broadcasts_ = 0;
   place::granule_store store_;
+  /// Certify→install hand-off of the batched delivery path.
+  commit_pipeline pipeline_;
   /// Reused per-delivery buffer for placement slices.
   std::vector<db::item_id> slice_scratch_;
+  std::uint64_t delivery_runs_ = 0;
+  std::uint64_t run_payloads_ = 0;
   std::uint64_t delivered_payload_bytes_ = 0;
   std::uint64_t interested_payload_bytes_ = 0;
   std::uint64_t applied_update_bytes_ = 0;

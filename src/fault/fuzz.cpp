@@ -260,6 +260,7 @@ run_result run_spec(const scenario_spec& spec, const config& cfg) {
   // timeline only — not the protocol stack under it.
   ec.enable_recovery = cfg.allow_recovery || spec.needs_recovery();
   ec.gcs.unsafe_no_primary_partition = cfg.break_primary_partition;
+  ec.gcs.batch_max = cfg.batch_max;
   ec.checks = cfg.checks;
   if (cfg.read_fast_path) {
     kv::kv_config k;

@@ -102,6 +102,12 @@ struct config {
   /// generated timelines for a given (seed, cfg) are unchanged and
   /// existing corpus seeds stay byte-identical when it is off.
   bool read_fast_path = false;
+  /// Batch atomic broadcast size for each run
+  /// (gcs::group_config::batch_max; 1 keeps the serial per-payload
+  /// path). Only run_spec() consults it — like read_fast_path, generated
+  /// timelines for a given (seed, cfg) are unchanged, so the same corpus
+  /// replays against the batched and the serial hot path.
+  std::size_t batch_max = 1;
   /// Monitor configuration for each run.
   check::config checks;
   /// Maximum experiment re-runs shrink() may spend.

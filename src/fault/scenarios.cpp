@@ -126,6 +126,27 @@ scenario partial_k2_crash_rejoin(const params& p) {
   return s;
 }
 
+scenario batch_boundary_crash(const params& p) {
+  DBSM_CHECK(p.sites >= 3);
+  scenario s("batch_boundary_crash");
+  // Crash mid-batch, between sequence and stability: from onset the
+  // sequencer's (site 0's) outbound datagrams are delayed far past its
+  // crash point, so batch assignment records it mints in the window are
+  // sequenced locally but still in flight — covered by no stability
+  // round — when it dies. The survivors' view-change flush must cut
+  // through the half-propagated batches deterministically: each record
+  // (with the payloads it orders) lands within the cut at every survivor
+  // or is dropped at every survivor, never split. Also meaningful with
+  // batching off (it then cuts through half-propagated per-payload
+  // assignment runs), so the scenario guards the serial path too.
+  const sim_duration window = p.exclusion_timeout / 2;
+  s.add(link_delay_fault::one_way(4 * p.exclusion_timeout, site_set{0}),
+        p.onset, p.onset + window);
+  s.add(std::make_shared<crash_fault>(site_selector{site_set{0}}),
+        p.onset + window / 2);
+  return s;
+}
+
 scenario partition_lease_window(const params& p) {
   DBSM_CHECK(p.sites >= 3);
   const unsigned victim = p.sites - 1;
@@ -193,6 +214,9 @@ const std::vector<catalog_entry>& catalog() {
       {"partial_k2_crash_rejoin",
        "k=2 placement: crash last site, placement-filtered rejoin", 4,
        false, &partial_k2_crash_rejoin, true, 2},
+      {"batch_boundary_crash",
+       "delay sequencer egress, crash it mid-batch before stability", 3,
+       false, &batch_boundary_crash, false},
       {"partition_lease_window",
        "sub-exclusion partition blips during the read-lease window", 3,
        false, &partition_lease_window, false},

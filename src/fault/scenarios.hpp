@@ -71,6 +71,14 @@ scenario rolling_restarts(const params& p = {});
 /// is a strict subset while a majority survives the crash.
 scenario partial_k2_crash_rejoin(const params& p = {});
 
+/// Crash mid-batch between sequence and stability: the sequencer's
+/// outbound links are delayed from onset, then it crashes half a window
+/// later — batch assignment records minted in the window are sequenced
+/// but nowhere stable, and the survivors' flush must cut through them
+/// deterministically (each record within the cut everywhere or dropped
+/// everywhere). Exercises the serial per-payload path too.
+scenario batch_boundary_crash(const params& p = {});
+
 // --- read-path (lease) scenarios: exercise the read/ fast path's
 // --- revocation races; meaningful with replica_cfg.read.path = fast ---
 /// Three partition blips of the last site, each shorter than the

@@ -30,6 +30,12 @@ class group {
   using deliver_fn = std::function<void(node_id sender,
                                         std::uint64_t global_seq,
                                         util::shared_bytes payload)>;
+  /// Totally ordered delivery of a contiguous run of payloads in one
+  /// callback (batch mode, cfg.batch_max > 1): the consumer can amortize
+  /// per-delivery fixed costs over the run and pipeline its stages. Run
+  /// boundaries are a local timing artifact — per-payload order and state
+  /// transitions are identical to deliver_fn's.
+  using deliver_batch_fn = std::function<void(std::vector<delivery>&&)>;
   using view_fn = std::function<void(const view&)>;
 
   /// Application-state marshaling for membership recovery (wired by the
@@ -51,6 +57,12 @@ class group {
   group& operator=(const group&) = delete;
 
   void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
+  /// Batch-mode consumer; delivery then arrives as contiguous runs (view-
+  /// change backlog replays arrive as single-payload runs). Meaningful
+  /// only with cfg.batch_max > 1 — check batching() before wiring.
+  void set_deliver_batch(deliver_batch_fn fn) {
+    deliver_batch_ = std::move(fn);
+  }
   void set_view_handler(view_fn fn) { view_cb_ = std::move(fn); }
   /// Requires cfg.enable_recovery; call before start()/start_joining().
   void set_state_transfer(state_transfer_hooks h) { xfer_ = std::move(h); }
@@ -94,6 +106,8 @@ class group {
   const view& current_view() const;
   bool am_sequencer() const;
   node_id self() const { return env_.self(); }
+  /// Batch atomic broadcast configured (cfg.batch_max > 1)?
+  bool batching() const { return cfg_.batch_max > 1; }
 
   // --- probes ---
   const reliable_mcast::stats& rmcast_stats() const;
@@ -119,6 +133,7 @@ class group {
  private:
   static constexpr std::uint8_t kind_user = 0;
   static constexpr std::uint8_t kind_assignments = 1;
+  static constexpr std::uint8_t kind_assignment_batch = 2;
 
   void dispatch(node_id from, util::shared_bytes raw);
   void on_app_msg(node_id sender, std::uint64_t app_seq,
@@ -155,6 +170,7 @@ class group {
   csrt::env& env_;
   group_config cfg_;
   deliver_fn deliver_;
+  deliver_batch_fn deliver_batch_;
   view_fn view_cb_;
   view_fn joined_cb_;
   std::function<void()> excluded_cb_;

@@ -32,6 +32,31 @@ std::vector<assignment> decode_assignments(const util::shared_bytes& raw) {
   return out;
 }
 
+util::shared_bytes encode_assignment_batch(const assignment_batch& b) {
+  util::buffer_writer w(10 + 12 * b.keys.size());
+  w.put_u64(b.base);
+  w.put_u16(static_cast<std::uint16_t>(b.keys.size()));
+  for (const auto& [sender, app_seq] : b.keys) {
+    w.put_u32(sender);
+    w.put_u64(app_seq);
+  }
+  return w.take();
+}
+
+assignment_batch decode_assignment_batch(const util::shared_bytes& raw) {
+  util::buffer_reader r(raw);
+  assignment_batch b;
+  b.base = r.get_u64();
+  const std::uint16_t n = r.get_u16();
+  b.keys.reserve(n);
+  for (std::uint16_t i = 0; i < n; ++i) {
+    const node_id sender = r.get_u32();
+    const std::uint64_t app_seq = r.get_u64();
+    b.keys.emplace_back(sender, app_seq);
+  }
+  return b;
+}
+
 total_order::total_order(csrt::env& env, const group_config& cfg)
     : env_(env), cfg_(cfg) {}
 
@@ -68,6 +93,24 @@ void total_order::halt_delivery() { halted_ = true; }
 void total_order::maybe_assign(node_id sender, std::uint64_t app_seq) {
   const msg_key key{sender, app_seq};
   if (assigned_.count(key)) return;
+  if (batch_mode()) {
+    // Batch atomic broadcast: accumulate the key; global sequences are
+    // minted consecutively when the batch closes (size or delay bound).
+    // Marking it assigned now keeps the sequencer-rescan from double-
+    // adding it; install_view() rolls the open batch back the same way
+    // it rolls back the unflushed dissemination batch.
+    assigned_.insert(key);
+    batch_keys_.push_back(key);
+    if (batch_keys_.size() >= cfg_.batch_max) {
+      close_batch();
+    } else if (batch_timer_ == 0) {
+      batch_timer_ = env_.set_timer(cfg_.batch_delay, [this] {
+        batch_timer_ = 0;
+        close_batch();
+      });
+    }
+    return;
+  }
   assignment a;
   a.sender = sender;
   a.app_seq = app_seq;
@@ -88,7 +131,28 @@ void total_order::maybe_assign(node_id sender, std::uint64_t app_seq) {
   }
 }
 
+void total_order::close_batch() {
+  // Same hold rule as flush_batch(): a quiesced sequencer must not mint.
+  if (quiesced_) return;
+  if (batch_keys_.empty()) return;
+  if (batch_timer_ != 0) {
+    env_.cancel_timer(batch_timer_);
+    batch_timer_ = 0;
+  }
+  assignment_batch b;
+  b.base = next_assign_;
+  next_assign_ += batch_keys_.size();
+  b.keys.swap(batch_keys_);
+  // Like per-payload assignments, the batch takes effect only when the
+  // record returns through the sequencer's own reliable stream.
+  if (send_batch_) send_batch_(encode_assignment_batch(b));
+}
+
 void total_order::flush_batch() {
+  if (batch_mode()) {
+    close_batch();
+    return;
+  }
   // Quiesced for a view change: hold the batch. Nothing in it reached the
   // wire, so install_view() rolls these assignments back cleanly and the
   // post-install rescan re-issues them under the new view.
@@ -122,8 +186,43 @@ void total_order::on_assignments(const util::shared_bytes& batch) {
   try_deliver();
 }
 
+void total_order::on_assignment_batch(const util::shared_bytes& raw) {
+  const assignment_batch b = decode_assignment_batch(raw);
+  std::uint64_t seq = b.base;
+  for (const auto& [sender, app_seq] : b.keys) {
+    const msg_key key{sender, app_seq};
+    order_.emplace(seq, key);
+    assigned_.insert(key);
+    ++seq;
+  }
+  if (seq > next_assign_) next_assign_ = seq;
+  try_deliver();
+}
+
 void total_order::try_deliver() {
   if (halted_) return;
+  if (deliver_run_) {
+    // Batch mode: hand the whole contiguous deliverable run out in one
+    // callback. State transitions per payload are identical to the
+    // per-payload loop below, so decisions downstream cannot depend on
+    // where run boundaries fall (they differ per site with arrival
+    // timing; only amortized CPU does).
+    std::vector<delivery> run;
+    auto it = order_.find(next_deliver_);
+    while (it != order_.end()) {
+      auto mit = complete_.find(it->second);
+      if (mit == complete_.end()) break;  // payload not yet received
+      const msg_key key = it->second;
+      pending_msg msg = std::move(mit->second);
+      complete_.erase(mit);
+      order_.erase(it);
+      assigned_.erase(key);
+      run.push_back({key.first, next_deliver_++, std::move(msg.payload)});
+      it = order_.find(next_deliver_);
+    }
+    if (!run.empty()) deliver_run_(std::move(run));
+    return;
+  }
   auto it = order_.find(next_deliver_);
   while (it != order_.end()) {
     auto mit = complete_.find(it->second);
@@ -150,6 +249,10 @@ void total_order::install_view(const std::vector<node_id>& old_members,
     assigned_.erase(msg_key{a.sender, a.app_seq});
   }
   batch_.clear();
+  // Batch mode: the open (unminted) batch rolls back the same way — the
+  // post-install rescan re-accumulates whatever survived the cut.
+  for (const msg_key& key : batch_keys_) assigned_.erase(key);
+  batch_keys_.clear();
   auto cut_of = [&](node_id n) -> std::uint64_t {
     const auto it = std::find(old_members.begin(), old_members.end(), n);
     if (it == old_members.end()) return 0;
@@ -211,6 +314,7 @@ void total_order::install_view(const std::vector<node_id>& old_members,
   // Renumber: the new sequencer continues after everything delivered.
   next_assign_ = std::max(last_assigned + 1, next_deliver_);
   batch_.clear();
+  batch_keys_.clear();
   if (batch_timer_ != 0) {
     env_.cancel_timer(batch_timer_);
     batch_timer_ = 0;

@@ -33,12 +33,35 @@ struct assignment {
 util::shared_bytes encode_assignments(const std::vector<assignment>& as);
 std::vector<assignment> decode_assignments(const util::shared_bytes& raw);
 
+/// Batch assignment record (group_config::batch_max > 1): one base global
+/// sequence plus the (sender, app_seq) keys it covers, in minting order —
+/// key i gets global sequence base + i. 12 bytes per payload instead of 20,
+/// and one wire record (and one handler charge) per batch.
+struct assignment_batch {
+  std::uint64_t base = 0;
+  std::vector<std::pair<node_id, std::uint64_t>> keys;
+};
+
+util::shared_bytes encode_assignment_batch(const assignment_batch& b);
+assignment_batch decode_assignment_batch(const util::shared_bytes& raw);
+
+/// One totally ordered delivery, as handed to a batch (run) consumer.
+struct delivery {
+  node_id sender = 0;
+  std::uint64_t global_seq = 0;
+  util::shared_bytes payload;
+};
+
 class total_order {
  public:
   /// Final, totally ordered delivery to the application.
   using deliver_fn = std::function<void(node_id sender,
                                         std::uint64_t global_seq,
                                         util::shared_bytes payload)>;
+  /// Contiguous run of totally ordered deliveries, handed out in one
+  /// callback (set only in batch mode; try_deliver then batches instead of
+  /// calling deliver_ per payload).
+  using deliver_run_fn = std::function<void(std::vector<delivery>&&)>;
   /// Used by the sequencer to disseminate assignment batches (wired to the
   /// group facade, which wraps and reliably multicasts them).
   using send_assignments_fn =
@@ -56,8 +79,17 @@ class total_order {
   void start_at(std::uint64_t next);
 
   void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
+  /// Batch-mode delivery: contiguous runs go through `fn` in one call
+  /// instead of per-payload deliver_ (which install_view backlog delivery
+  /// still uses). Leave unset for the per-payload path.
+  void set_deliver_run(deliver_run_fn fn) { deliver_run_ = std::move(fn); }
   void set_send_assignments(send_assignments_fn fn) {
     send_assignments_ = std::move(fn);
+  }
+  /// Dissemination of batch assignment records (batch mode only; the group
+  /// wraps these under its own wire kind).
+  void set_send_batch(send_assignments_fn fn) {
+    send_batch_ = std::move(fn);
   }
 
   /// Updates the sequencer role (at start and at every view change). When
@@ -89,6 +121,9 @@ class total_order {
   /// Assignment batch from the reliable layer.
   void on_assignments(const util::shared_bytes& batch);
 
+  /// Batch assignment record from the reliable layer (batch mode).
+  void on_assignment_batch(const util::shared_bytes& raw);
+
   /// View change: removes state of failed senders beyond the cut and
   /// deterministically delivers what remains (identically at every
   /// survivor — they flushed to the same state):
@@ -116,12 +151,16 @@ class total_order {
 
   void try_deliver();
   void flush_batch();
+  void close_batch();
   void maybe_assign(node_id sender, std::uint64_t app_seq);
+  bool batch_mode() const { return cfg_.batch_max > 1; }
 
   csrt::env& env_;
   const group_config cfg_;
   deliver_fn deliver_;
+  deliver_run_fn deliver_run_;
   send_assignments_fn send_assignments_;
+  send_assignments_fn send_batch_;
 
   node_id sequencer_ = invalid_node;
   bool am_sequencer_ = false;
@@ -135,6 +174,10 @@ class total_order {
   std::uint64_t next_assign_ = 1;
 
   std::vector<assignment> batch_;
+  /// Batch mode: keys accumulated for the open batch. They are marked
+  /// assigned (so the rescan cannot double-add them) but their global
+  /// sequences are minted only when the batch closes.
+  std::vector<msg_key> batch_keys_;
   csrt::timer_id batch_timer_ = 0;
 };
 

@@ -34,6 +34,12 @@ stability_tracker::stability_tracker(std::vector<node_id> members,
 void stability_tracker::set_local_prefixes(
     std::vector<std::uint64_t> prefixes) {
   DBSM_CHECK(prefixes.size() == members_.size());
+  // Re-voting with unchanged prefixes is idempotent — the voter bit is
+  // already set and the vote only min-merges — so skip the merge work.
+  // State-identical always; the saving matters when ticks outpace
+  // deliveries (batched commit path).
+  if ((voters_ & (1u << self_index_)) != 0 && prefixes == local_prefix_)
+    return;
   local_prefix_ = std::move(prefixes);
   vote();
 }

@@ -6,6 +6,9 @@
 // TPC-C's warehouse partitioning cannot express).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "core/experiment.hpp"
 #include "tpcc/tpcc_workload.hpp"
 #include "workload/kv.hpp"
@@ -256,6 +259,139 @@ TEST(kv_latest, deterministic_and_runs_through_generic_path) {
   cfg.workload = kv::factory(mix);
   const auto r = core::run_experiment(cfg);
   check_conformance(r, "kv", kv::num_classes);
+}
+
+// ---------- the "scrambled" key distribution ----------
+
+TEST(kv_scrambled, keeps_the_zipf_mass_but_scatters_the_hot_keys) {
+  // Scrambled = the same Zipf rank stream pushed through a fixed
+  // permutation hash: the frequency profile (mass on the hottest key) is
+  // unchanged, but the hot keys are no longer the low indices — so
+  // low-index locality (and granule contiguity) is broken by design.
+  kv::kv_config k;
+  k.keys = 2000;
+  k.zipf_theta = 0.9;
+  k.mix_read = 0.0;
+  k.mix_update = 1.0;
+  k.mix_scan = 0.0;
+  kv::kv_config plain = k;
+  plain.dist = kv::key_dist::zipfian;
+  kv::kv_config scram = k;
+  scram.dist = kv::key_dist::scrambled;
+
+  auto key_counts = [](const kv::kv_config& cfg) {
+    kv::kv_workload wl(cfg);
+    util::rng root(5);
+    wl.prepare(1, 1, root);
+    core::client_slot slot;
+    slot.site = 0;
+    slot.index = 0;
+    slot.total_clients = 1;
+    auto src = wl.make_source(slot, root.fork("s"));
+    std::map<std::uint64_t, int> counts;
+    for (int t = 0; t < 2000; ++t) {
+      const auto req = src->next(0);
+      for (const db::item_id it : req.write_set)
+        if (!db::is_granule(it)) ++counts[key_of(it, cfg.keys_per_granule)];
+    }
+    return counts;
+  };
+  const auto plain_counts = key_counts(plain);
+  const auto scram_counts = key_counts(scram);
+
+  auto top5 = [](const std::map<std::uint64_t, int>& counts) {
+    std::vector<std::pair<int, std::uint64_t>> by_count;
+    for (const auto& [key, n] : counts) by_count.emplace_back(n, key);
+    std::sort(by_count.rbegin(), by_count.rend());
+    by_count.resize(std::min<std::size_t>(by_count.size(), 5));
+    return by_count;
+  };
+  const auto plain_top = top5(plain_counts);
+  const auto scram_top = top5(scram_counts);
+  // Same skew: the single hottest key draws comparable mass either way.
+  EXPECT_GT(scram_top[0].first, plain_top[0].first / 2);
+  EXPECT_LT(scram_top[0].first, plain_top[0].first * 2);
+  // Zipfian's hot set is the low indices; scrambled scatters it (rank 0
+  // is the hash's fixed point, so allow that one key to stay low).
+  int plain_low = 0, scram_low = 0;
+  for (const auto& [n, key] : plain_top) plain_low += key < 100;
+  for (const auto& [n, key] : scram_top) scram_low += key < 100;
+  EXPECT_EQ(plain_low, 5);
+  EXPECT_LE(scram_low, 1);
+  // Low-index mass: zipfian concentrates most draws under key 100,
+  // scrambled spreads them across the keyspace.
+  auto mass_below = [](const std::map<std::uint64_t, int>& counts,
+                       std::uint64_t bound) {
+    int n = 0, total = 0;
+    for (const auto& [key, c] : counts) {
+      total += c;
+      if (key < bound) n += c;
+    }
+    return static_cast<double>(n) / std::max(total, 1);
+  };
+  EXPECT_GT(mass_below(plain_counts, 100), 0.5);
+  EXPECT_LT(mass_below(scram_counts, 100), 0.25);
+}
+
+TEST(kv_scrambled, deterministic_and_runs_through_generic_path) {
+  kv::kv_config k;
+  k.keys = 5000;
+  k.dist = kv::key_dist::scrambled;
+  k.zipf_theta = 0.9;
+  k.think_time = util::exponential_dist(0.5);
+  auto cfg = small_config();
+  cfg.workload = kv::factory(k);
+  const auto a = core::run_experiment(cfg);
+  const auto b = core::run_experiment(cfg);
+  check_conformance(a, "kv", kv::num_classes);
+  ASSERT_FALSE(a.commit_logs.empty());
+  EXPECT_EQ(a.commit_logs[0], b.commit_logs[0]);  // same seed, same run
+}
+
+// ---------- YCSB mix presets through the conformance suite ----------
+
+core::experiment_config preset_config(kv::mix preset) {
+  auto cfg = small_config();
+  kv::kv_config k;
+  k.keys = 10000;
+  k.preset = preset;
+  k.think_time = util::exponential_dist(0.5);
+  cfg.workload = kv::factory(k);
+  return cfg;
+}
+
+std::uint64_t update_class_responses(const core::experiment_result& r) {
+  std::uint64_t n = 0;
+  for (db::txn_class cls = 0; cls < kv::num_classes; ++cls)
+    if (r.class_is_update[cls]) n += r.stats.of(cls).total();
+  return n;
+}
+
+TEST(workload_api, ycsb_a_preset_runs_an_update_heavy_mix) {
+  const auto r = core::run_experiment(preset_config(kv::mix::ycsb_a));
+  check_conformance(r, "kv", kv::num_classes);
+  // 50/50: both halves of the mix actually ran, in comparable volume.
+  const std::uint64_t updates = update_class_responses(r);
+  EXPECT_GT(updates, r.responses / 3);
+  EXPECT_LT(updates, 2 * r.responses / 3);
+  EXPECT_EQ(r.stats.of(kv::c_scan).total(), 0u);  // presets drop scans
+}
+
+TEST(workload_api, ycsb_b_preset_is_read_mostly) {
+  const auto r = core::run_experiment(preset_config(kv::mix::ycsb_b));
+  check_conformance(r, "kv", kv::num_classes);
+  const std::uint64_t updates = update_class_responses(r);
+  EXPECT_GT(updates, 0u);                    // the 5% update leg ran
+  EXPECT_LT(updates, r.responses / 5);       // but reads dominate
+  EXPECT_EQ(r.stats.of(kv::c_scan).total(), 0u);
+}
+
+TEST(workload_api, ycsb_c_preset_is_pure_reads) {
+  const auto r = core::run_experiment(preset_config(kv::mix::ycsb_c));
+  check_conformance(r, "kv", kv::num_classes);
+  EXPECT_EQ(update_class_responses(r), 0u);
+  // Point reads never conflict: every response commits.
+  EXPECT_EQ(r.stats.total_committed(), r.responses);
 }
 
 }  // namespace
