@@ -81,7 +81,7 @@ void group::build_stack(const view& v, std::uint64_t delivered) {
     on_app_msg(sender, app_seq, std::move(payload), last_dgram);
   });
 
-  order_ = std::make_unique<total_order>(env_, cfg_);
+  order_ = make_ordering(env_, cfg_);
   if (delivered > 0) order_->start_at(delivered + 1);
   order_->set_deliver([this](node_id sender, std::uint64_t seq,
                              util::shared_bytes payload) {
@@ -123,7 +123,19 @@ void group::build_stack(const view& v, std::uint64_t delivered) {
   order_->set_send_batch([this](util::shared_bytes batch) {
     rmcast_->broadcast(wrap(kind_assignment_batch, batch));
   });
-  order_->set_sequencer(v.sequencer());
+  order_->set_send_token([this](std::uint64_t token_seq,
+                                std::uint64_t next_assign, node_id holder) {
+    // Raw control plane like heartbeats: loss is covered by the passer's
+    // retransmission and, terminally, by regeneration at the next view.
+    token_msg t;
+    t.hdr = {msg_type::token, membership_->current().id, env_.self()};
+    t.token_seq = token_seq;
+    t.next_assign = next_assign;
+    t.holder = holder;
+    ++token_ctl_sent_;
+    env_.multicast(encode(t));
+  });
+  order_->set_roles(v.members, v.sequencer());
 
   stability_ = std::make_unique<stability_tracker>(v.members, env_.self());
   reset_uniform();
@@ -373,6 +385,17 @@ void group::dispatch(node_id from, util::shared_bytes raw) {
     case msg_type::join_fwd:
     case msg_type::join_commit:
       break;  // stale join traffic to a live member
+    case msg_type::token:
+      // Rotating-token ordering control. Tokens of other views are dead —
+      // every install regenerates the token at the new lead — and during
+      // a view change the membership barrier holds the token clock still:
+      // a hop accepted mid-flush could mint assignments that breach view
+      // synchrony.
+      if (hdr.view_id == membership_->current().id &&
+          !membership_->barrier_active()) {
+        order_->on_token(decode_token(raw));
+      }
+      break;
   }
   (void)from;
 }
@@ -469,9 +492,10 @@ void group::do_install(const view& v,
   rmcast_->install_view(v.members);
   rmcast_->set_view_id(v.id);
 
-  // Deterministic delivery of the flushed backlog, then the new sequencer.
+  // Deterministic delivery of the flushed backlog, then the new roles
+  // (sequencer takeover / token regeneration at the new lead).
   order_->install_view(old_members, cut, v.members);
-  order_->set_sequencer(v.sequencer());
+  order_->set_roles(v.members, v.sequencer());
 
   // Everything up to the cut is at every survivor: it is stable by
   // definition of the flush. Seed the new stability tracker with it.

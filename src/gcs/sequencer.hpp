@@ -9,169 +9,47 @@
 // ordering information is itself reliable and flow-controlled. This makes
 // the sequencer multicast far more than anyone else, which is precisely the
 // §5.3 bottleneck the paper diagnoses.
+//
+// This is the default implementation of the gcs::ordering seam
+// (gcs/ordering.hpp); the leaderless alternative is gcs/token_order.hpp.
 #ifndef DBSM_GCS_SEQUENCER_HPP
 #define DBSM_GCS_SEQUENCER_HPP
 
-#include <functional>
-#include <map>
-#include <set>
 #include <vector>
 
-#include "csrt/env.hpp"
-#include "gcs/config.hpp"
-#include "util/byte_buffer.hpp"
+#include "gcs/ordering.hpp"
 
 namespace dbsm::gcs {
 
-/// One total-order assignment: (sender, app_seq) -> global sequence.
-struct assignment {
-  node_id sender = 0;
-  std::uint64_t app_seq = 0;
-  std::uint64_t global_seq = 0;
-};
-
-util::shared_bytes encode_assignments(const std::vector<assignment>& as);
-std::vector<assignment> decode_assignments(const util::shared_bytes& raw);
-
-/// Batch assignment record (group_config::batch_max > 1): one base global
-/// sequence plus the (sender, app_seq) keys it covers, in minting order —
-/// key i gets global sequence base + i. 12 bytes per payload instead of 20,
-/// and one wire record (and one handler charge) per batch.
-struct assignment_batch {
-  std::uint64_t base = 0;
-  std::vector<std::pair<node_id, std::uint64_t>> keys;
-};
-
-util::shared_bytes encode_assignment_batch(const assignment_batch& b);
-assignment_batch decode_assignment_batch(const util::shared_bytes& raw);
-
-/// One totally ordered delivery, as handed to a batch (run) consumer.
-struct delivery {
-  node_id sender = 0;
-  std::uint64_t global_seq = 0;
-  util::shared_bytes payload;
-};
-
-class total_order {
+class total_order : public ordering {
  public:
-  /// Final, totally ordered delivery to the application.
-  using deliver_fn = std::function<void(node_id sender,
-                                        std::uint64_t global_seq,
-                                        util::shared_bytes payload)>;
-  /// Contiguous run of totally ordered deliveries, handed out in one
-  /// callback (set only in batch mode; try_deliver then batches instead of
-  /// calling deliver_ per payload).
-  using deliver_run_fn = std::function<void(std::vector<delivery>&&)>;
-  /// Used by the sequencer to disseminate assignment batches (wired to the
-  /// group facade, which wraps and reliably multicasts them).
-  using send_assignments_fn =
-      std::function<void(util::shared_bytes batch)>;
-
   total_order(csrt::env& env, const group_config& cfg);
-  ~total_order();  // cancels the batch timer (safe mid-run teardown)
+  ~total_order() override;  // cancels the batch timer (mid-run teardown)
 
-  total_order(const total_order&) = delete;
-  total_order& operator=(const total_order&) = delete;
-
-  /// Rebases a *fresh* instance so delivery and assignment continue at
-  /// `next` (used when the stack is rebuilt at a view merge: the global
-  /// sequence runs on across the merge while the streams restart).
-  void start_at(std::uint64_t next);
-
-  void set_deliver(deliver_fn fn) { deliver_ = std::move(fn); }
-  /// Batch-mode delivery: contiguous runs go through `fn` in one call
-  /// instead of per-payload deliver_ (which install_view backlog delivery
-  /// still uses). Leave unset for the per-payload path.
-  void set_deliver_run(deliver_run_fn fn) { deliver_run_ = std::move(fn); }
-  void set_send_assignments(send_assignments_fn fn) {
-    send_assignments_ = std::move(fn);
-  }
-  /// Dissemination of batch assignment records (batch mode only; the group
-  /// wraps these under its own wire kind).
-  void set_send_batch(send_assignments_fn fn) {
-    send_batch_ = std::move(fn);
-  }
+  /// The seam role update: the fixed sequencer's minting site is the view
+  /// lead (its lowest-id member); the member list itself is irrelevant.
+  void set_roles(const std::vector<node_id>& members, node_id lead) override;
 
   /// Updates the sequencer role (at start and at every view change). When
   /// this node is the sequencer it (re)assigns every complete-but-unordered
   /// message — including ones that arrived while ordering was quiesced for
-  /// a view change.
+  /// a view change. (Public for direct protocol unit tests; the group goes
+  /// through set_roles().)
   void set_sequencer(node_id sequencer);
 
-  /// Stops assignment creation and batch dissemination until the next
-  /// install_view(). Called when a view change reports its flush state:
-  /// the agreed cut covers exactly what was broadcast before the report,
-  /// so an assignment minted after it would self-deliver here (sends are
-  /// stopped) yet never reach the other members before they install —
-  /// delivering it in this view at one site only breaks view synchrony.
-  /// Received traffic still buffers and within-cut delivery continues.
-  void quiesce();
-
-  /// Terminal delivery stop: this node learned it was excluded from the
-  /// next view. View synchrony forbids delivering in a view one is not a
-  /// member of, so the in-flight stream (which may keep arriving on an
-  /// asymmetric or slow link) must not commit here any more. Only a stack
-  /// rebuild (recovery rejoin) resumes delivery.
-  void halt_delivery();
-
-  /// Complete application message from the reliable layer (user payload).
-  void on_user_msg(node_id sender, std::uint64_t app_seq,
-                   util::shared_bytes payload, std::uint64_t last_dgram);
-
-  /// Assignment batch from the reliable layer.
-  void on_assignments(const util::shared_bytes& batch);
-
-  /// Batch assignment record from the reliable layer (batch mode).
-  void on_assignment_batch(const util::shared_bytes& raw);
-
-  /// View change: removes state of failed senders beyond the cut and
-  /// deterministically delivers what remains (identically at every
-  /// survivor — they flushed to the same state):
-  ///   1. assignments whose payload survives are delivered in order;
-  ///   2. assignments whose payload is gone (assigned by a crashed
-  ///      sequencer to a message nobody holds) are skipped;
-  ///   3. complete unassigned messages within the cut are delivered in
-  ///      (sender, app_seq) order.
-  /// `cut` and `old_members` describe the flushed state.
-  void install_view(const std::vector<node_id>& old_members,
-                    const std::vector<std::uint64_t>& cut,
-                    const std::vector<node_id>& new_members);
-
-  std::uint64_t delivered() const { return next_deliver_ - 1; }
-  std::size_t pending_unordered() const { return complete_.size(); }
-  std::size_t pending_assignments() const { return order_.size(); }
+ protected:
+  void on_complete(node_id sender, std::uint64_t app_seq) override;
+  void rollback_unflushed() override;
+  void post_install(const std::vector<node_id>& new_members) override;
 
  private:
-  using msg_key = std::pair<node_id, std::uint64_t>;
-
-  struct pending_msg {
-    util::shared_bytes payload;
-    std::uint64_t last_dgram = 0;
-  };
-
-  void try_deliver();
   void flush_batch();
   void close_batch();
   void maybe_assign(node_id sender, std::uint64_t app_seq);
   bool batch_mode() const { return cfg_.batch_max > 1; }
 
-  csrt::env& env_;
-  const group_config cfg_;
-  deliver_fn deliver_;
-  deliver_run_fn deliver_run_;
-  send_assignments_fn send_assignments_;
-  send_assignments_fn send_batch_;
-
   node_id sequencer_ = invalid_node;
   bool am_sequencer_ = false;
-  bool quiesced_ = false;  // view change in progress: no new assignments
-  bool halted_ = false;    // excluded from the group: no more delivery
-
-  std::map<msg_key, pending_msg> complete_;       // received, not delivered
-  std::map<std::uint64_t, msg_key> order_;        // global -> key
-  std::set<msg_key> assigned_;                    // keys with an order
-  std::uint64_t next_deliver_ = 1;
-  std::uint64_t next_assign_ = 1;
 
   std::vector<assignment> batch_;
   /// Batch mode: keys accumulated for the open batch. They are marked

@@ -1,0 +1,99 @@
+// Total order via rotating token — the leaderless alternative on the
+// gcs::ordering seam (gcs/ordering.hpp).
+//
+// A token circulates the view's members in site-id order. Only the current
+// holder mints: it assigns the next run of global sequences to its OWN
+// complete-but-unordered messages (one assignment_batch record, sent
+// through its reliable multicast stream exactly like the fixed sequencer's
+// records), then multicasts the token naming its successor. The ordering
+// load thus rotates instead of concentrating at one site — trading the
+// §5.3 sequencer bottleneck for token-circulation latency.
+//
+// Failure handling is deliberately minimal and rides on view synchrony:
+//   * token datagrams are raw control plane (like heartbeats). The passer
+//     retransmits every cfg.token_retry until it observes a higher token
+//     sequence (its successor passed the token on in turn);
+//   * a crashed holder (or a lost token the retransmission cannot fix —
+//     the successor died) stalls minting, NOT safety: messages keep
+//     buffering, and the failure detector eventually forces a view change;
+//   * at every view install the token is regenerated deterministically —
+//     the new view's lead (lowest id) simply holds it, no agreement round
+//     or wire message needed — and the membership barrier discards token
+//     datagrams of the old view, so a stale token can never resurrect.
+#ifndef DBSM_GCS_TOKEN_ORDER_HPP
+#define DBSM_GCS_TOKEN_ORDER_HPP
+
+#include <vector>
+
+#include "gcs/ordering.hpp"
+
+namespace dbsm::gcs {
+
+class token_order : public ordering {
+ public:
+  token_order(csrt::env& env, const group_config& cfg);
+  ~token_order() override;  // cancels hold/retry timers (mid-run teardown)
+
+  /// Deterministic token regeneration: `lead` (the view's lowest-id
+  /// member) holds the fresh token, everyone else waits for it. Called at
+  /// start and after every view install — the old token died with the old
+  /// view (the group drops token datagrams whose view id mismatches).
+  void set_roles(const std::vector<node_id>& members, node_id lead) override;
+
+  /// View change flush: stop minting AND the token clock — a token passed
+  /// now could trigger mints that breach view synchrony, and the install
+  /// regenerates it anyway.
+  void quiesce() override;
+
+  void on_token(const token_msg& t) override;
+
+  // --- probes ---
+  bool holds_token() const { return have_token_; }
+  /// Token hops this node initiated (first sends, not retransmissions).
+  std::uint64_t tokens_passed() const { return tokens_passed_; }
+  /// Assignment-batch records this node minted while holding the token.
+  std::uint64_t mints() const { return mints_; }
+  /// Token retransmissions (successor slow or dead).
+  std::uint64_t token_retries() const { return token_retries_; }
+
+ protected:
+  void on_complete(node_id sender, std::uint64_t app_seq) override;
+  /// Every mint goes straight to the wire (no local-only batch state), so
+  /// there is nothing to roll back: assignments marked at mint time are
+  /// covered by the flush cut — the record was broadcast before quiesce().
+  void rollback_unflushed() override {}
+  void post_install(const std::vector<node_id>& new_members) override;
+
+ private:
+  void acquire(std::uint64_t next_assign);
+  void service_token();
+  /// Mints one assignment_batch covering this node's complete-but-
+  /// unassigned messages (in app_seq order). Returns true if it minted.
+  bool mint_pending();
+  void pass_token();
+  void arm_retry();
+  void cancel_timers();
+
+  std::vector<node_id> members_;  // current view, sorted by site id
+
+  /// Highest token sequence observed in this view; a hop counter.
+  /// Receivers deduplicate retransmitted (and overtaken) tokens on it.
+  std::uint64_t token_seq_ = 0;
+  bool have_token_ = false;
+
+  // Last token this node sent, retransmitted until superseded.
+  std::uint64_t sent_seq_ = 0;
+  std::uint64_t sent_next_assign_ = 0;
+  node_id sent_holder_ = invalid_node;
+
+  csrt::timer_id hold_timer_ = 0;   // idle holder: pass after idle delay
+  csrt::timer_id retry_timer_ = 0;  // passer: retransmit until superseded
+
+  std::uint64_t tokens_passed_ = 0;
+  std::uint64_t mints_ = 0;
+  std::uint64_t token_retries_ = 0;
+};
+
+}  // namespace dbsm::gcs
+
+#endif  // DBSM_GCS_TOKEN_ORDER_HPP

@@ -356,6 +356,24 @@ join_done_msg decode_join_done(const util::shared_bytes& raw) {
   return m;
 }
 
+util::shared_bytes encode(const token_msg& m) {
+  util::buffer_writer w(32);
+  put_header(w, m.hdr);
+  w.put_u64(m.token_seq);
+  w.put_u64(m.next_assign);
+  w.put_u32(m.holder);
+  return w.take();
+}
+
+token_msg decode_token(const util::shared_bytes& raw) {
+  token_msg m;
+  auto r = open(raw, msg_type::token, m.hdr);
+  m.token_seq = r.get_u64();
+  m.next_assign = r.get_u64();
+  m.holder = r.get_u32();
+  return m;
+}
+
 header decode_header(const util::shared_bytes& raw) {
   util::buffer_reader r(raw);
   return get_header(r);

@@ -36,6 +36,8 @@ enum class msg_type : std::uint8_t {
   join_fwd_ack = 14,
   join_commit = 15,
   join_done = 16,
+  // Rotating-token total order (gcs/token_order.hpp).
+  token = 17,
 };
 
 struct header {
@@ -182,6 +184,22 @@ struct join_done_msg {
   std::uint64_t incarnation = 0;
 };
 
+/// Rotating-token total order (gcs/token_order.hpp): the passer multicasts
+/// the token naming the next holder. Raw control plane like heartbeats —
+/// not part of any reliable stream; loss is covered by the passer's
+/// retransmission (token_retry) and, terminally, by deterministic token
+/// regeneration at the next view install. `token_seq` counts completed
+/// hops within the view (receivers deduplicate on it); `next_assign` is
+/// the first unminted global sequence, carried so the new holder continues
+/// the numbering even if it has not yet received the passer's last
+/// assignment record.
+struct token_msg {
+  header hdr;
+  std::uint64_t token_seq = 0;
+  std::uint64_t next_assign = 1;
+  node_id holder = 0;
+};
+
 // --- encoding ---
 
 util::shared_bytes encode(const data_msg& m);
@@ -200,6 +218,7 @@ util::shared_bytes encode(const join_fwd_msg& m);
 util::shared_bytes encode(const join_fwd_ack_msg& m);
 util::shared_bytes encode(const join_commit_msg& m);
 util::shared_bytes encode(const join_done_msg& m);
+util::shared_bytes encode(const token_msg& m);
 
 /// Peeks the header of any protocol datagram.
 header decode_header(const util::shared_bytes& raw);
@@ -221,6 +240,7 @@ join_fwd_msg decode_join_fwd(const util::shared_bytes& raw);
 join_fwd_ack_msg decode_join_fwd_ack(const util::shared_bytes& raw);
 join_commit_msg decode_join_commit(const util::shared_bytes& raw);
 join_done_msg decode_join_done(const util::shared_bytes& raw);
+token_msg decode_token(const util::shared_bytes& raw);
 
 }  // namespace dbsm::gcs
 

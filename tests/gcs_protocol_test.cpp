@@ -358,6 +358,71 @@ TEST(total_order, install_view_drops_dead_senders_beyond_cut) {
   EXPECT_EQ(f.to.pending_unordered(), 0u);
 }
 
+TEST(total_order, quiesce_holds_the_flush_until_view_install) {
+  // The flush-quiesce barrier directly: once a view change quiesces
+  // ordering, a firing flush timer must mint nothing; the held batch
+  // rolls back at install and surfaces as deterministic unassigned
+  // backlog, and the continuing sequencer numbers past it.
+  order_fixture f;
+  f.to.set_sequencer(0);
+  f.to.on_user_msg(1, 1, text_payload("held"), 1);
+  f.to.quiesce();
+  f.env.advance(f.cfg.sequencer_flush + 1);
+  EXPECT_TRUE(f.sent_batches.empty());  // the fired timer minted nothing
+  // A message completing mid-flush stays unassigned too.
+  f.to.on_user_msg(2, 1, text_payload("late"), 1);
+  EXPECT_TRUE(f.sent_batches.empty());
+  f.to.install_view({0, 1, 2}, {10, 10, 10}, {0, 1, 2});
+  ASSERT_EQ(f.delivered.size(), 2u);  // backlog, (sender, app_seq) order
+  EXPECT_EQ(f.delivered[0].second, "held");
+  EXPECT_EQ(f.delivered[1].second, "late");
+  f.to.set_sequencer(0);  // re-elected after the install
+  f.to.on_user_msg(1, 2, text_payload("next"), 2);
+  f.env.advance(f.cfg.sequencer_flush + 1);
+  ASSERT_EQ(f.sent_batches.size(), 1u);
+  const auto as = decode_assignments(f.sent_batches[0]);
+  ASSERT_EQ(as.size(), 1u);
+  EXPECT_EQ(as[0].global_seq, 3u);  // continues past the two delivered
+}
+
+TEST(total_order, view_change_rolls_back_the_open_batch) {
+  // The batch-barrier path (batch mode): keys accumulated in an open
+  // batch are marked assigned but unminted; a close firing mid-quiesce
+  // must hold, and the install must roll the marks back so the keys are
+  // delivered as plain backlog — nothing minted, nothing lost.
+  fake_env env{0, {0, 1, 2}};
+  group_config cfg;
+  cfg.batch_max = 8;
+  cfg.batch_delay = milliseconds(2);
+  total_order to{env, cfg};
+  std::vector<std::pair<std::uint64_t, std::string>> delivered;
+  std::vector<util::shared_bytes> sent;
+  to.set_deliver([&](node_id, std::uint64_t seq, util::shared_bytes p) {
+    delivered.emplace_back(seq, std::string(p->begin(), p->end()));
+  });
+  to.set_send_batch([&](util::shared_bytes b) { sent.push_back(b); });
+  to.set_sequencer(0);
+  to.on_user_msg(1, 1, text_payload("a"), 1);
+  to.on_user_msg(2, 1, text_payload("b"), 1);
+  EXPECT_TRUE(sent.empty());  // open batch: under size, before the delay
+  to.quiesce();
+  env.advance(cfg.batch_delay + 1);  // close timer fires while quiesced
+  EXPECT_TRUE(sent.empty());         // barrier holds: no mint mid-flush
+  to.install_view({0, 1, 2}, {10, 10, 10}, {0, 1, 2});
+  ASSERT_EQ(delivered.size(), 2u);  // rolled back and delivered as backlog
+  EXPECT_EQ(delivered[0].second, "a");
+  EXPECT_EQ(delivered[1].second, "b");
+  to.set_sequencer(0);
+  to.on_user_msg(1, 2, text_payload("c"), 2);
+  env.advance(cfg.batch_delay + 1);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(decode_assignment_batch(sent[0]).base, 3u);  // numbering runs on
+  to.on_assignment_batch(sent[0]);
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered.back().first, 3u);
+  EXPECT_EQ(delivered.back().second, "c");
+}
+
 TEST(total_order, orphan_assignments_are_skipped_consistently) {
   order_fixture f;
   f.to.set_sequencer(2);
